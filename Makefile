@@ -1,0 +1,41 @@
+# Development entry points for rcuda-go. Everything is stdlib-only Go; no
+# external tools are required beyond the toolchain.
+
+GO ?= go
+
+.PHONY: all build test race bench fuzz repro figures experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing pass over the wire-protocol decoders.
+fuzz:
+	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=30s ./internal/protocol/
+
+# Regenerate every table and figure of the paper on stdout.
+repro:
+	$(GO) run ./cmd/rcuda-repro -all
+
+# Render the figures as SVG files under figs/.
+figures:
+	$(GO) run ./cmd/rcuda-repro -svg figs
+
+# Refresh the paper-vs-reproduction comparison document.
+experiments:
+	$(GO) run ./cmd/rcuda-repro -experiments > EXPERIMENTS.md
+
+clean:
+	rm -rf figs
+	$(GO) clean -testcache

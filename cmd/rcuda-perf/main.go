@@ -1,0 +1,152 @@
+// Command rcuda-perf measures the real (wall-clock) performance of a live
+// rCUDA daemon over TCP — the deployment-side analogue of the paper's
+// methodology: per-call round-trip latencies for the control operations
+// and effective throughput for bulk memory copies.
+//
+// Start a daemon first (cmd/rcudad), then:
+//
+//	rcuda-perf -server localhost:8308 -reps 250
+//	rcuda-perf -server localhost:8308 -op memcpy -bytes 67108864 -reps 30
+//
+// The defaults mirror the paper's ping-pong configuration: 250 repetitions
+// averaged for small messages, minimum-of-N for bulk transfers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"rcuda"
+	"rcuda/internal/stats"
+)
+
+func main() {
+	server := flag.String("server", "localhost:8308", "rCUDA daemon address")
+	op := flag.String("op", "all", "operation to measure: sync, malloc, memcpy, launch, all")
+	bytes := flag.Int("bytes", 1<<20, "payload size for memcpy measurements")
+	reps := flag.Int("reps", 250, "repetitions per measurement")
+	flag.Parse()
+
+	mod, err := rcuda.CaseStudyModule(rcuda.MM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	img, err := mod.Binary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := rcuda.Dial(*server, img)
+	if err != nil {
+		log.Fatalf("connect to %s: %v (start cmd/rcudad first)", *server, err)
+	}
+	defer client.Close()
+	maj, min := client.Capability()
+	fmt.Printf("connected to %s — remote device compute capability %d.%d\n\n", *server, maj, min)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "operation\treps\tmean\tmin\tmedian\tmax\tthroughput")
+	defer w.Flush()
+
+	run := func(name string, fn func() error, payload int64) {
+		samples := make([]float64, 0, *reps)
+		for i := 0; i < *reps; i++ {
+			start := time.Now()
+			if err := fn(); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			samples = append(samples, time.Since(start).Seconds())
+		}
+		s, err := stats.Summarize(samples)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tp := "-"
+		if payload > 0 {
+			tp = fmt.Sprintf("%.1f MB/s", float64(payload)/s.Min/(1<<20))
+		}
+		fmt.Fprintf(w, "%s\t%d\t%v\t%v\t%v\t%v\t%s\n",
+			name, s.N, dur(s.Mean), dur(s.Min), dur(s.Median), dur(s.Max), tp)
+	}
+
+	doSync := func() {
+		run("cudaDeviceSynchronize", client.DeviceSynchronize, 0)
+	}
+	doMalloc := func() {
+		run("cudaMalloc+cudaFree", func() error {
+			p, err := client.Malloc(4096)
+			if err != nil {
+				return err
+			}
+			return client.Free(p)
+		}, 0)
+	}
+	doMemcpy := func() {
+		buf := make([]byte, *bytes)
+		ptr, err := client.Malloc(uint32(*bytes))
+		if err != nil {
+			log.Fatal(err)
+		}
+		run(fmt.Sprintf("cudaMemcpy H2D %dB", *bytes), func() error {
+			return client.MemcpyToDevice(ptr, buf)
+		}, int64(*bytes))
+		run(fmt.Sprintf("cudaMemcpy D2H %dB", *bytes), func() error {
+			return client.MemcpyToHost(buf, ptr)
+		}, int64(*bytes))
+		if err := client.Free(ptr); err != nil {
+			log.Fatal(err)
+		}
+	}
+	doLaunch := func() {
+		const m = 32
+		nbytes := uint32(4 * m * m)
+		var ptrs [3]rcuda.DevicePtr
+		for i := range ptrs {
+			p, err := client.Malloc(nbytes)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ptrs[i] = p
+		}
+		if err := client.MemcpyToDevice(ptrs[0], make([]byte, nbytes)); err != nil {
+			log.Fatal(err)
+		}
+		if err := client.MemcpyToDevice(ptrs[1], make([]byte, nbytes)); err != nil {
+			log.Fatal(err)
+		}
+		run("cudaLaunch sgemmNN m=32", func() error {
+			return client.Launch(rcuda.SgemmKernel, rcuda.Dim3{X: 2, Y: 2}, rcuda.Dim3{X: 16, Y: 16}, 0,
+				rcuda.PackParams(uint32(ptrs[0]), uint32(ptrs[1]), uint32(ptrs[2]), m))
+		}, 0)
+		for _, p := range ptrs {
+			if err := client.Free(p); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	switch *op {
+	case "sync":
+		doSync()
+	case "malloc":
+		doMalloc()
+	case "memcpy":
+		doMemcpy()
+	case "launch":
+		doLaunch()
+	case "all":
+		doSync()
+		doMalloc()
+		doMemcpy()
+		doLaunch()
+	default:
+		log.Fatalf("unknown -op %q (sync, malloc, memcpy, launch, all)", *op)
+	}
+}
+
+func dur(seconds float64) time.Duration {
+	return time.Duration(seconds * float64(time.Second)).Round(time.Microsecond)
+}

@@ -1,0 +1,46 @@
+// Command rcuda-pingpong characterizes an interconnect the way Section IV
+// of the paper does: a ping-pong test sweeping payload sizes, averaging 250
+// repetitions for small payloads and taking the minimum of 100 for large
+// ones, then fitting the linear end-to-end latency function and deriving
+// the effective one-way bandwidth. It regenerates Figure 3 (-net GigaE) and
+// Figure 4 (-net 40GI).
+//
+// Usage:
+//
+//	rcuda-pingpong [-net GigaE] [-seed 1] [-sigma 0.004] [-nagle]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"rcuda/internal/netsim"
+	"rcuda/internal/report"
+)
+
+func main() {
+	netName := flag.String("net", "GigaE", "network to characterize (GigaE, 40GI, 10GE, 10GI, Myr, F-HT, A-HT)")
+	seed := flag.Int64("seed", 1, "noise seed")
+	sigma := flag.Float64("sigma", 0.004, "relative measurement noise (0 disables)")
+	nagle := flag.Bool("nagle", false, "re-enable the modeled Nagle delay the paper disables")
+	flag.Parse()
+
+	link, err := netsim.ByName(*netName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *nagle {
+		// Show the stall the paper avoids by disabling Nagle's algorithm.
+		pp := &netsim.PingPong{Link: link, Noise: netsim.NewNoise(*seed, *sigma), Nagle: true}
+		fmt.Printf("Nagle enabled: 8-byte round trip on %s = %v (the delay the paper's middleware avoids)\n\n",
+			link.Name(), pp.RoundTrip(8))
+	}
+	cfg := report.Config{Reps: 1, Seed: *seed, Sigma: *sigma}
+	out, err := cfg.FigureLatency(link)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprint(os.Stdout, out)
+}

@@ -1,0 +1,132 @@
+// Command rcuda-repro regenerates every table and figure of the paper from
+// the reproduction stack.
+//
+// Usage:
+//
+//	rcuda-repro -all                 # everything, in paper order
+//	rcuda-repro -table 4             # one table (1-6)
+//	rcuda-repro -figure 5            # one figure (2-6)
+//	rcuda-repro -experiments         # EXPERIMENTS.md content (paper vs ours)
+//
+// Flags -reps, -seed and -sigma control the simulated measurement campaign
+// (default: the paper's 30 repetitions, seed 1, 0.4% noise).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"rcuda/internal/calib"
+	"rcuda/internal/netsim"
+	"rcuda/internal/report"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print one table (1-6)")
+	figure := flag.Int("figure", 0, "print one figure (2-6)")
+	all := flag.Bool("all", false, "print every table and figure")
+	experiments := flag.Bool("experiments", false, "print the EXPERIMENTS.md document")
+	reps := flag.Int("reps", 30, "repetitions per measured data point")
+	seed := flag.Int64("seed", 1, "noise seed")
+	sigma := flag.Float64("sigma", 0.004, "relative measurement noise (0 disables)")
+	mmSize := flag.Int("mm", 4096, "MM size at which Table II is evaluated")
+	fftBatch := flag.Int("fft", 2048, "FFT batch at which Table II is evaluated")
+	svgDir := flag.String("svg", "", "write every figure as SVG files into this directory")
+	flag.Parse()
+
+	cfg := report.Config{Reps: *reps, Seed: *seed, Sigma: *sigma}
+	out := os.Stdout
+
+	emit := func(s string, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out, s)
+	}
+
+	if *experiments {
+		emit(cfg.Experiments())
+		return
+	}
+	if *svgDir != "" {
+		paths, err := cfg.WriteSVGs(*svgDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range paths {
+			fmt.Fprintln(out, p)
+		}
+		return
+	}
+	if !*all && *table == 0 && *figure == 0 {
+		*all = true
+	}
+
+	printTable := func(n int) {
+		switch n {
+		case 1:
+			emit(report.TableI(), nil)
+		case 2:
+			emit(report.TableII(*mmSize, *fftBatch), nil)
+		case 3:
+			emit(report.TableIII(), nil)
+		case 4:
+			emit(cfg.TableIV())
+		case 5:
+			emit(report.TableV(), nil)
+		case 6:
+			emit(cfg.TableVI())
+		default:
+			log.Fatalf("unknown table %d (1-6)", n)
+		}
+	}
+	printFigure := func(n int) {
+		switch n {
+		case 2:
+			emit(report.Figure2(64))
+		case 3:
+			emit(cfg.FigureLatency(netsim.GigaE()))
+		case 4:
+			emit(cfg.FigureLatency(netsim.IB40G()))
+		case 5:
+			emit(cfg.FigureSeries(calib.MM, "GigaE"))
+			emit(cfg.FigureSeries(calib.FFT, "GigaE"))
+		case 6:
+			emit(cfg.FigureSeries(calib.MM, "40GI"))
+			emit(cfg.FigureSeries(calib.FFT, "40GI"))
+		case 7:
+			emit(cfg.Figure7(8))
+		case 8:
+			emit(cfg.Figure8(*mmSize, *fftBatch, 24))
+		case 9:
+			emit(cfg.Figure9(8))
+		default:
+			log.Fatalf("unknown figure %d (2-9; 7-9 are extensions)", n)
+		}
+	}
+
+	if *table != 0 {
+		printTable(*table)
+	}
+	if *figure != 0 {
+		printFigure(*figure)
+	}
+	if *all {
+		printTable(1)
+		printFigure(2)
+		printFigure(3)
+		printFigure(4)
+		printTable(2)
+		printTable(3)
+		printTable(4)
+		printTable(5)
+		printTable(6)
+		printFigure(5)
+		printFigure(6)
+		printFigure(7)
+		printFigure(8)
+		printFigure(9)
+	}
+}

@@ -1,0 +1,28 @@
+// Command rcuda-trace runs one functional remote matrix multiplication
+// through the full middleware over a simulated interconnect, recording
+// every client-server message, and prints the sequence diagram and phase
+// breakdown of the paper's Figure 2.
+//
+// Usage:
+//
+//	rcuda-trace [-size 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"rcuda/internal/report"
+)
+
+func main() {
+	size := flag.Int("size", 64, "matrix dimension (multiple of 16, ≤ 1024)")
+	flag.Parse()
+
+	out, err := report.Figure2(*size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,77 @@
+// Command rcudad is the rCUDA server daemon: it owns the node's (simulated)
+// GPU and serves CUDA requests from remote clients over TCP, exactly as the
+// paper's "GPU network service listening for requests on a TCP port".
+//
+// Each accepted connection gets its own pre-initialized CUDA context, so
+// concurrent clients time-share the GPU and no client pays the CUDA
+// environment start-up delay.
+//
+// Usage:
+//
+//	rcudad [-listen :8308] [-mem 4096] [-quiet]
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"rcuda/internal/gpu"
+	_ "rcuda/internal/kernels" // register the case-study GPU modules
+	"rcuda/internal/rcuda"
+	"rcuda/internal/vclock"
+)
+
+func main() {
+	listen := flag.String("listen", ":8308", "TCP address to listen on")
+	memMiB := flag.Uint64("mem", 4096, "device memory in MiB (Tesla C1060: 4096)")
+	gpus := flag.Int("gpus", 1, "number of GPUs this node serves")
+	spread := flag.Bool("spread", false, "start sessions on the GPUs round robin instead of device 0")
+	quiet := flag.Bool("quiet", false, "suppress per-session logging")
+	flag.Parse()
+	if *gpus < 1 {
+		log.Fatalf("rcudad: -gpus %d must be at least 1", *gpus)
+	}
+
+	logger := log.New(os.Stderr, "rcudad: ", log.LstdFlags)
+	clock := vclock.NewWall()
+	devs := make([]*gpu.Device, *gpus)
+	for i := range devs {
+		devs[i] = gpu.New(gpu.Config{
+			Clock:       clock,
+			MemoryBytes: *memMiB << 20,
+		})
+	}
+	dev := devs[0]
+
+	opts := []rcuda.ServerOption{rcuda.WithDevices(devs[1:]...)}
+	if *spread {
+		opts = append(opts, rcuda.WithSessionSpread())
+	}
+	if !*quiet {
+		opts = append(opts, rcuda.WithLogger(logger))
+	}
+	srv := rcuda.NewServer(dev, opts...)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	logger.Printf("serving %d x %s (%d MiB each) on %s, modules: %v",
+		*gpus, dev.Name(), *memMiB, ln.Addr(), gpu.RegisteredModules())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		logger.Print("shutting down")
+		_ = srv.Close()
+	}()
+
+	if err := srv.Serve(ln); err != nil {
+		logger.Fatalf("serve: %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+package rcuda_test
+
+import (
+	"fmt"
+	"log"
+
+	"rcuda"
+)
+
+// ExampleNewSimSession runs a tiny matrix product on a simulated remote GPU
+// over the 40 Gbps InfiniBand model and reports the result and the modeled
+// time regime.
+func ExampleNewSimSession() {
+	link, err := rcuda.NetworkByName("40GI")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mod, err := rcuda.CaseStudyModule(rcuda.MM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	img, err := mod.Binary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := rcuda.NewSimSession(link, img, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	const m = 16
+	a := make([]float32, m*m)
+	b := make([]float32, m*m)
+	for i := range a {
+		a[i], b[i] = 1, 2 // all-ones times all-twos
+	}
+	var ptrs [3]rcuda.DevicePtr
+	for i := range ptrs {
+		p, err := sess.Client.Malloc(4 * m * m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ptrs[i] = p
+	}
+	must(sess.Client.MemcpyToDevice(ptrs[0], rcuda.Float32Bytes(a)))
+	must(sess.Client.MemcpyToDevice(ptrs[1], rcuda.Float32Bytes(b)))
+	must(sess.Client.Launch(rcuda.SgemmKernel,
+		rcuda.Dim3{X: 1}, rcuda.Dim3{X: 16}, 0,
+		rcuda.PackParams(uint32(ptrs[0]), uint32(ptrs[1]), uint32(ptrs[2]), m)))
+	out := make([]byte, 4*m*m)
+	must(sess.Client.MemcpyToHost(out, ptrs[2]))
+
+	fmt.Printf("C[0,0] = %.0f\n", rcuda.BytesFloat32(out)[0])
+	fmt.Printf("virtual time advanced: %v\n", sess.Clock.Now() > 0)
+	// Output:
+	// C[0,0] = 32
+	// virtual time advanced: true
+}
+
+// ExampleBuildModel reproduces the paper's estimation flow: simulate
+// measurements on 1 Gbps Ethernet, build the model, and predict the
+// execution time on 40 Gbps InfiniBand.
+func ExampleBuildModel() {
+	gigaE, err := rcuda.NetworkByName("GigaE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ib40, err := rcuda.NetworkByName("40GI")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Noiseless measurement campaign (seed 0 disables jitter).
+	measured, err := rcuda.MeasureRemote(rcuda.MM, gigaE, 1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := rcuda.BuildModel(rcuda.MM, gigaE, measured)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := model.Estimate(ib40, 8192)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The paper measured 9.34 s on the real 40GI testbed (Table IV).
+	fmt.Printf("predicted 40GI time for m=8192: %.1f s\n", est.Seconds())
+	// Output:
+	// predicted 40GI time for m=8192: 9.4 s
+}
+
+// ExampleNetworkByName lists the effective bandwidth of every interconnect
+// the paper studies.
+func ExampleNetworkByName() {
+	for _, n := range rcuda.Networks() {
+		fmt.Printf("%s: %.1f MB/s\n", n.Name(), n.Bandwidth())
+	}
+	// Output:
+	// GigaE: 112.4 MB/s
+	// 40GI: 1367.1 MB/s
+	// 10GE: 880.0 MB/s
+	// 10GI: 970.0 MB/s
+	// Myr: 750.0 MB/s
+	// F-HT: 1442.0 MB/s
+	// A-HT: 2884.0 MB/s
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

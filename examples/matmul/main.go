@@ -1,0 +1,75 @@
+// Matmul sweeps the paper's matrix-product case study: it "measures" the
+// remote execution on the two testbed networks with the calibrated
+// simulator, builds the estimation model, and projects the execution time
+// onto every HPC interconnect — reproducing the left-hand plots of
+// Figures 5 and 6 and answering the paper's question: is a remote GPU
+// worth it for this workload? (For MM: yes, on every HPC network.)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"rcuda"
+	"rcuda/internal/calib"
+	"rcuda/internal/workload"
+)
+
+func main() {
+	gigaE, err := rcuda.NetworkByName("GigaE")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Measure the case study over GigaE (30 reps, seeded noise), then
+	// build the estimation model from those measurements alone.
+	measured, err := rcuda.MeasureRemote(rcuda.MM, gigaE, 30, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := rcuda.BuildModel(rcuda.MM, gigaE, measured)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "m\tCPU (s)\tlocal GPU (s)\tGigaE (s)\t10GE\t10GI\tMyr\tF-HT\tA-HT\tbest choice")
+	for _, size := range rcuda.ProblemSizes(rcuda.MM) {
+		cpu, err := workload.Run(calib.MM, size, workload.CPU, workload.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gpu, err := workload.Run(calib.MM, size, workload.LocalGPU, workload.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := fmt.Sprintf("%d\t%.2f\t%.2f\t%.2f", size, cpu.Total.Seconds(), gpu.Total.Seconds(), measured[size])
+		best, bestT := "CPU", cpu.Total.Seconds()
+		if gpu.Total.Seconds() < bestT {
+			best, bestT = "local GPU", gpu.Total.Seconds()
+		}
+		for _, name := range []string{"10GE", "10GI", "Myr", "F-HT", "A-HT"} {
+			link, err := rcuda.NetworkByName(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			est, err := model.Estimate(link, size)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf("\t%.2f", est.Seconds())
+			if est.Seconds() < bestT {
+				best, bestT = "rCUDA/"+name, est.Seconds()
+			}
+		}
+		fmt.Fprintf(w, "%s\t%s\n", row, best)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nThe matrix product is compute-bound (O(m³) work over O(m²) data):")
+	fmt.Println("a virtualized remote GPU beats the 8-core CPU on every HPC network,")
+	fmt.Println("and on fast interconnects it runs within a few percent of a local GPU.")
+}

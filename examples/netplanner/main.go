@@ -1,0 +1,99 @@
+// Netplanner answers the cluster-design question that motivates the paper:
+// given a GPU workload and a candidate interconnect, should the cluster
+// keep a GPU in every node, or can it virtualize a few remote GPUs?
+//
+// It measures the workload on a reference network with the simulator,
+// builds the estimation model, and prints the predicted execution time and
+// verdict for the chosen network — the paper's "tool to determine the
+// behavior of our proposal over different interconnects with no need of
+// the physical equipment".
+//
+// Usage:
+//
+//	netplanner [-case MM|FFT] [-size 8192] [-net 10GI]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"rcuda"
+	"rcuda/internal/perfmodel"
+)
+
+func main() {
+	caseName := flag.String("case", "MM", "workload: MM (matrix product) or FFT (batched 512-point FFT)")
+	size := flag.Int("size", 8192, "problem size (matrix dimension or FFT batch; one of the paper's sizes)")
+	netName := flag.String("net", "10GI", "candidate interconnect (GigaE, 40GI, 10GE, 10GI, Myr, F-HT, A-HT)")
+	flag.Parse()
+
+	var cs rcuda.CaseStudy
+	switch *caseName {
+	case "MM":
+		cs = rcuda.MM
+	case "FFT":
+		cs = rcuda.FFT
+	default:
+		log.Fatalf("unknown case study %q (MM or FFT)", *caseName)
+	}
+	target, err := rcuda.NetworkByName(*netName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reference measurements on the 40 Gbps InfiniBand testbed network.
+	source, err := rcuda.NetworkByName("40GI")
+	if err != nil {
+		log.Fatal(err)
+	}
+	measured, err := rcuda.MeasureRemote(cs, source, 30, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := rcuda.BuildModel(cs, source, measured)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	e, err := perfmodel.Eligible(model, target, *size)
+	if err != nil {
+		log.Fatalf("%v (the model covers sizes %v)", err, rcuda.ProblemSizes(cs))
+	}
+
+	fmt.Printf("workload:        %s, size %d\n", cs, *size)
+	fmt.Printf("interconnect:    %s (%.0f MB/s effective one-way)\n", target.Name(), target.Bandwidth())
+	fmt.Printf("local CPU:       %v (8 cores, high performance libraries)\n", round(e.CPU))
+	fmt.Printf("local GPU:       %v\n", round(e.LocalGPU))
+	fmt.Printf("remote GPU est.: %v over %s\n", round(e.Remote), target.Name())
+	fmt.Println()
+	switch {
+	case !e.GPUWorth:
+		fmt.Println("verdict: NOT GPU-ELIGIBLE — the CPU beats even a local GPU; keep it on the CPU.")
+	case e.RemoteOK:
+		fmt.Printf("verdict: VIRTUALIZE — a remote GPU over %s is %.0f%% faster than the CPU;\n",
+			target.Name(), e.SpeedupPc)
+		fmt.Println("a cluster with a few shared GPUs serves this workload well.")
+	default:
+		fmt.Printf("verdict: LOCAL GPU ONLY — the workload wants a GPU, but %s is too slow\n", target.Name())
+		fmt.Println("to remote it; either use a faster interconnect or keep per-node GPUs.")
+	}
+
+	// Extra planning facts from the model.
+	if cross, ok := perfmodel.CrossoverSize(model, target); ok {
+		fmt.Printf("\ncrossover: the remote GPU starts beating the CPU at size %d on %s\n",
+			cross, target.Name())
+	} else {
+		fmt.Printf("\ncrossover: the remote GPU never beats the CPU on %s at the studied sizes\n",
+			target.Name())
+	}
+	if bw, ok := perfmodel.MinimumBandwidth(model, *size); ok {
+		fmt.Printf("bandwidth floor: any interconnect above %.0f MB/s one-way makes size %d worth remoting\n",
+			bw, *size)
+	} else {
+		fmt.Printf("bandwidth floor: no interconnect speed makes size %d worth remoting\n", *size)
+	}
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Millisecond) }

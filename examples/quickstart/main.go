@@ -1,0 +1,90 @@
+// Quickstart: start an rCUDA server on localhost, connect a client over
+// real TCP, and run a small matrix multiplication on the "remote" GPU —
+// the application code only sees the CUDA-like Runtime interface.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+
+	"rcuda"
+)
+
+func main() {
+	// 1. The server side: a node that owns a GPU runs the daemon.
+	dev := rcuda.NewDevice()
+	server := rcuda.NewServer(dev)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := server.Serve(ln); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	defer server.Close()
+	fmt.Println("rCUDA daemon serving", dev.Name(), "on", ln.Addr())
+
+	// 2. The client side: any node in the cluster opens a session by
+	// sending its GPU module, then uses the remote GPU as if local.
+	mod, err := rcuda.CaseStudyModule(rcuda.MM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	img, err := mod.Binary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := rcuda.Dial(ln.Addr().String(), img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	maj, min := client.Capability()
+	fmt.Printf("connected: remote device reports compute capability %d.%d\n", maj, min)
+
+	// 3. C = A·B on the remote GPU.
+	const m = 32
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float32, m*m)
+	b := make([]float32, m*m)
+	for i := range a {
+		a[i] = rng.Float32()
+		b[i] = rng.Float32()
+	}
+	nbytes := uint32(4 * m * m)
+	aPtr := mustMalloc(client, nbytes)
+	bPtr := mustMalloc(client, nbytes)
+	cPtr := mustMalloc(client, nbytes)
+	must(client.MemcpyToDevice(aPtr, rcuda.Float32Bytes(a)))
+	must(client.MemcpyToDevice(bPtr, rcuda.Float32Bytes(b)))
+	must(client.Launch(rcuda.SgemmKernel,
+		rcuda.Dim3{X: m / 16, Y: m / 16}, rcuda.Dim3{X: 16, Y: 16}, 0,
+		rcuda.PackParams(uint32(aPtr), uint32(bPtr), uint32(cPtr), m)))
+	out := make([]byte, nbytes)
+	must(client.MemcpyToHost(out, cPtr))
+	for _, p := range []rcuda.DevicePtr{aPtr, bPtr, cPtr} {
+		must(client.Free(p))
+	}
+
+	c := rcuda.BytesFloat32(out)
+	fmt.Printf("C[0,0] = %.4f, C[%d,%d] = %.4f — computed on the remote GPU\n",
+		c[0], m-1, m-1, c[m*m-1])
+}
+
+func mustMalloc(rt rcuda.Runtime, n uint32) rcuda.DevicePtr {
+	p, err := rt.Malloc(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Stencil runs an iterative Jacobi heat-equation solver on a remote GPU —
+// the kind of computational-fluid-dynamics workload the paper's
+// introduction motivates, and the best case for GPU remoting: the grid
+// crosses the network once in each direction while every one of the
+// hundreds of iterations costs only a ~70-byte launch message (the
+// ping-pong buffers swap client-side).
+//
+// The run is functional (results verified against a host solver) and
+// timed on the virtual clock, so the example also prints how the
+// per-iteration wire overhead compares across interconnects.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"rcuda"
+	"rcuda/internal/kernels"
+)
+
+const (
+	width      = 128
+	height     = 128
+	iterations = 400
+)
+
+func main() {
+	fmt.Printf("Jacobi heat solver, %dx%d grid, %d iterations\n\n", width, height, iterations)
+	fmt.Println("network   total(sim)   per-iteration   grid transfers")
+	for _, name := range []string{"GigaE", "40GI", "A-HT"} {
+		link, err := rcuda.NetworkByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total, verified, err := solveRemote(link)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !verified {
+			log.Fatalf("%s: device result diverged from the host solver", name)
+		}
+		fmt.Printf("%-8s  %-10v   %-13v  2 (once up, once down)\n",
+			name, total.Round(time.Microsecond), (total / iterations).Round(time.Microsecond))
+	}
+	fmt.Println("\nverified: device grids match the host solver bit-for-bit tolerance 1e-4")
+	fmt.Println("An iterative solver amortizes the upload over hundreds of launches, so")
+	fmt.Println("even 1 Gbps Ethernet adds little — the opposite of the FFT case study.")
+}
+
+// solveRemote runs the full solve through the middleware over the given
+// simulated interconnect and verifies the result against the host solver.
+func solveRemote(link *rcuda.Network) (time.Duration, bool, error) {
+	img, err := kernels.JacobiModuleImage()
+	if err != nil {
+		return 0, false, err
+	}
+	sess, err := rcuda.NewSimSession(link, img, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	defer func() { _ = sess.Close() }()
+	client, clk := sess.Client, sess.Clock
+
+	// Initial condition: cold grid, hot top edge.
+	grid := make([]float32, width*height)
+	for j := 0; j < width; j++ {
+		grid[j] = 100
+	}
+	bytes := uint32(4 * len(grid))
+
+	start := clk.Now()
+	src, err := client.Malloc(bytes)
+	if err != nil {
+		return 0, false, err
+	}
+	dst, err := client.Malloc(bytes)
+	if err != nil {
+		return 0, false, err
+	}
+	if err := client.MemcpyToDevice(src, rcuda.Float32Bytes(grid)); err != nil {
+		return 0, false, err
+	}
+	// Seed the ping-pong buffer's boundary with a device-to-device copy —
+	// 16 bytes on the wire instead of another 64 KiB upload.
+	if err := client.MemcpyDeviceToDevice(dst, src, bytes); err != nil {
+		return 0, false, err
+	}
+	for iter := 0; iter < iterations; iter++ {
+		if err := client.Launch(kernels.JacobiKernel,
+			rcuda.Dim3{X: width / 16, Y: height / 16}, rcuda.Dim3{X: 16, Y: 16}, 0,
+			rcuda.PackParams(uint32(src), uint32(dst), width, height)); err != nil {
+			return 0, false, err
+		}
+		src, dst = dst, src
+	}
+	out := make([]byte, bytes)
+	if err := client.MemcpyToHost(out, src); err != nil {
+		return 0, false, err
+	}
+	for _, p := range []rcuda.DevicePtr{src, dst} {
+		if err := client.Free(p); err != nil {
+			return 0, false, err
+		}
+	}
+	elapsed := clk.Now() - start
+
+	// Host verification.
+	want := grid
+	for iter := 0; iter < iterations; iter++ {
+		want = kernels.JacobiCPU(want, width, height)
+	}
+	got := rcuda.BytesFloat32(out)
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+			return elapsed, false, nil
+		}
+	}
+	return elapsed, true, nil
+}

@@ -1,0 +1,3 @@
+module rcuda
+
+go 1.22

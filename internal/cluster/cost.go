@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// The paper's economic motivation, made quantitative: "adding an
+// accelerator to every node in an HPC cluster is not efficient neither
+// from the performance point of view nor from the power consumption
+// perspective — e.g., the power consumption of a GPU may well rate 25% of
+// that of an HPC node." This file turns a simulated schedule into energy
+// and acquisition-cost figures so configurations can be compared on the
+// paper's own terms.
+
+// CostModel holds the per-node economics.
+type CostModel struct {
+	// NodeWatts is a node's power draw without an accelerator.
+	NodeWatts float64
+	// GPUWatts is the additional draw of an installed accelerator. The
+	// paper's figure: about 25% of a node.
+	GPUWatts float64
+	// GPUIdleFraction is the share of GPUWatts an idle accelerator still
+	// draws (GPUs of the Tesla era idled hot).
+	GPUIdleFraction float64
+	// NodeCost and GPUCost are acquisition prices in arbitrary currency
+	// units; only their ratio matters for comparisons.
+	NodeCost float64
+	GPUCost  float64
+}
+
+// DefaultCostModel follows the paper's 25% power figure with a 2008-era
+// Tesla C1060 price point relative to a dual-socket node.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		NodeWatts:       250,
+		GPUWatts:        62.5, // 25% of a node, per the paper
+		GPUIdleFraction: 0.5,
+		NodeCost:        3000,
+		GPUCost:         1300,
+	}
+}
+
+func (m CostModel) validate() error {
+	if m.NodeWatts <= 0 || m.GPUWatts < 0 || m.NodeCost <= 0 || m.GPUCost < 0 {
+		return fmt.Errorf("cluster: non-positive cost model %+v", m)
+	}
+	if m.GPUIdleFraction < 0 || m.GPUIdleFraction > 1 {
+		return fmt.Errorf("cluster: GPU idle fraction %g outside [0,1]", m.GPUIdleFraction)
+	}
+	return nil
+}
+
+// CostReport prices one simulated schedule under a cost model.
+type CostReport struct {
+	// AcquisitionCost is nodes plus installed GPUs.
+	AcquisitionCost float64
+	// EnergyWh is the cluster's energy over the schedule's makespan:
+	// every node at NodeWatts, every GPU at its idle draw plus its busy
+	// draw while servicing jobs.
+	EnergyWh float64
+	// GPUEnergyWh isolates the accelerators' share.
+	GPUEnergyWh float64
+	// Makespan echoes the schedule length the energy integrates over.
+	Makespan time.Duration
+}
+
+// Price evaluates a simulation result for a cluster configuration under
+// the cost model. The GPU count is taken from the result (for a local
+// configuration it equals the node count).
+func Price(cfg Config, res Result, m CostModel) (CostReport, error) {
+	if err := cfg.validate(); err != nil {
+		return CostReport{}, err
+	}
+	if err := m.validate(); err != nil {
+		return CostReport{}, err
+	}
+	gpus := res.GPUs
+	hours := res.Makespan.Hours()
+
+	var gpuEnergy float64
+	for _, util := range res.Utilization {
+		busy := util * hours
+		idle := (1 - util) * hours
+		gpuEnergy += m.GPUWatts*busy + m.GPUWatts*m.GPUIdleFraction*idle
+	}
+	// Configurations with more GPUs than utilization entries cannot
+	// occur: Simulate always sizes Utilization to the GPU count.
+	nodeEnergy := m.NodeWatts * float64(cfg.Nodes) * hours
+	return CostReport{
+		AcquisitionCost: m.NodeCost*float64(cfg.Nodes) + m.GPUCost*float64(gpus),
+		EnergyWh:        nodeEnergy + gpuEnergy,
+		GPUEnergyWh:     gpuEnergy,
+		Makespan:        res.Makespan,
+	}, nil
+}
+
+// Savings compares a shared-GPU configuration against the fully equipped
+// one-GPU-per-node cluster on the same trace.
+type Savings struct {
+	Shared, Local CostReport
+	// AcquisitionPc is the acquisition saving in percent.
+	AcquisitionPc float64
+	// EnergyPc is the energy saving in percent (can be negative if the
+	// shared cluster runs much longer).
+	EnergyPc float64
+	// SlowdownPc is the makespan penalty in percent.
+	SlowdownPc float64
+}
+
+// CompareCost simulates both configurations on the same trace and prices
+// them.
+func CompareCost(cfg Config, jobs []Job, m CostModel) (Savings, error) {
+	if cfg.Network == nil {
+		return Savings{}, fmt.Errorf("cluster: CompareCost needs a network configuration")
+	}
+	shared, err := Simulate(cfg, jobs)
+	if err != nil {
+		return Savings{}, err
+	}
+	localCfg := cfg
+	localCfg.Network = nil
+	local, err := Simulate(localCfg, jobs)
+	if err != nil {
+		return Savings{}, err
+	}
+	sharedCost, err := Price(cfg, shared, m)
+	if err != nil {
+		return Savings{}, err
+	}
+	localCost, err := Price(localCfg, local, m)
+	if err != nil {
+		return Savings{}, err
+	}
+	s := Savings{Shared: sharedCost, Local: localCost}
+	s.AcquisitionPc = (1 - sharedCost.AcquisitionCost/localCost.AcquisitionCost) * 100
+	s.EnergyPc = (1 - sharedCost.EnergyWh/localCost.EnergyWh) * 100
+	s.SlowdownPc = (float64(shared.Makespan)/float64(local.Makespan) - 1) * 100
+	return s, nil
+}

@@ -1,0 +1,169 @@
+// Package contention studies several applications sharing one rCUDA server
+// at event granularity — the paper's remaining future-work item ("potential
+// network contention caused by multiple applications running in a cluster
+// featuring several GPGPU servers will also be covered in future work").
+//
+// Each client is a discrete-event process replaying its case study's exact
+// message schedule. Two resources serialize the shared hardware: the
+// server's network link (one frame on the wire at a time, FIFO) and the
+// GPU (PCIe transfers and kernels execute exclusively, FIFO across
+// sessions, as the daemon's time multiplexing implies). Client-local work
+// — data generation and marshaling — proceeds in parallel on each client's
+// own node.
+//
+// With one client the event-level execution collapses to the paper's
+// synchronous model, and a test asserts it matches workload.Run exactly.
+package contention
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rcuda/internal/calib"
+	"rcuda/internal/des"
+	"rcuda/internal/netsim"
+	"rcuda/internal/workload"
+)
+
+// Params configures one contention experiment.
+type Params struct {
+	CS   calib.CaseStudy
+	Size int
+	// Clients is the number of concurrent applications sharing the
+	// server.
+	Clients int
+	// Link is the interconnect into the GPU node, shared by all clients.
+	Link *netsim.Link
+	// Stagger is an optional arrival offset between consecutive clients.
+	Stagger time.Duration
+}
+
+// Result summarizes one experiment.
+type Result struct {
+	// PerClient holds each client's completion instant minus its arrival.
+	PerClient []time.Duration
+	// Makespan is the instant the last client finishes.
+	Makespan time.Duration
+	// LinkUtilization and GPUUtilization are busy fractions of the run.
+	LinkUtilization float64
+	GPUUtilization  float64
+}
+
+// Run executes the experiment.
+func Run(p Params) (Result, error) {
+	if p.Clients < 1 {
+		return Result{}, fmt.Errorf("contention: need at least one client, got %d", p.Clients)
+	}
+	if p.Link == nil {
+		return Result{}, fmt.Errorf("contention: nil link")
+	}
+	if p.Size <= 0 {
+		return Result{}, fmt.Errorf("contention: non-positive size %d", p.Size)
+	}
+
+	sim := des.New()
+	link := sim.NewResource("link", 1)
+	gpuRes := sim.NewResource("gpu", 1)
+
+	prep := calib.DataGenTime(p.CS, p.Size) + calib.MarshalTime(p.CS, p.Size)
+	pcie := calib.PCIeTime(p.CS, p.Size)
+	kernel := calib.KernelTime(p.CS, p.Size)
+	schedule := workload.Schedule(p.CS, p.Size)
+
+	finished := make([]time.Duration, p.Clients)
+	for c := 0; c < p.Clients; c++ {
+		c := c
+		arrival := time.Duration(c) * p.Stagger
+		sim.Spawn(fmt.Sprintf("client-%d", c), arrival, func(proc *des.Process) {
+			start := proc.Now()
+			proc.Hold(prep) // node-local, fully parallel across clients
+			for _, msg := range schedule {
+				// Request frame occupies the shared wire.
+				link.Acquire(proc)
+				proc.Hold(p.Link.WireTime(msg.Send))
+				link.Release(proc)
+				// Server-side device work, exclusive per GPU.
+				switch msg.Kind {
+				case workload.MsgMemcpyIn:
+					gpuRes.Acquire(proc)
+					proc.Hold(pcie)
+					gpuRes.Release(proc)
+				case workload.MsgLaunch:
+					gpuRes.Acquire(proc)
+					proc.Hold(kernel)
+					gpuRes.Release(proc)
+				case workload.MsgMemcpyOut:
+					gpuRes.Acquire(proc)
+					proc.Hold(pcie)
+					gpuRes.Release(proc)
+				}
+				// Response frame back over the shared wire.
+				if msg.Recv > 0 {
+					link.Acquire(proc)
+					proc.Hold(p.Link.WireTime(msg.Recv))
+					link.Release(proc)
+				}
+			}
+			proc.Hold(calib.Mgmt)
+			finished[c] = proc.Now() - start
+		})
+	}
+	makespan := sim.Run()
+	res := Result{
+		PerClient:       finished,
+		Makespan:        makespan,
+		LinkUtilization: link.Utilization(),
+		GPUUtilization:  gpuRes.Utilization(),
+	}
+	return res, nil
+}
+
+// Sweep runs the experiment for every client count in [1, maxClients] and
+// returns the results in order.
+func Sweep(base Params, maxClients int) ([]Result, error) {
+	if maxClients < 1 {
+		return nil, fmt.Errorf("contention: maxClients %d", maxClients)
+	}
+	out := make([]Result, 0, maxClients)
+	for c := 1; c <= maxClients; c++ {
+		p := base
+		p.Clients = c
+		r, err := Run(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Slowdown reports each client count's mean per-client slowdown relative
+// to the single-client execution — the contention penalty curve.
+func Slowdown(results []Result) []float64 {
+	if len(results) == 0 {
+		return nil
+	}
+	base := results[0].PerClient[0].Seconds()
+	out := make([]float64, len(results))
+	for i, r := range results {
+		var sum float64
+		for _, d := range r.PerClient {
+			sum += d.Seconds()
+		}
+		mean := sum / float64(len(r.PerClient))
+		out[i] = mean / base
+	}
+	return out
+}
+
+// P95Turnaround returns the 95th-percentile per-client turnaround of a
+// result (by nearest-rank on the sorted turnarounds).
+func P95Turnaround(r Result) time.Duration {
+	if len(r.PerClient) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.PerClient...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[(len(sorted)*95)/100]
+}

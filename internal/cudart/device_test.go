@@ -1,0 +1,76 @@
+package cudart
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"rcuda/internal/gpu"
+	"rcuda/internal/vclock"
+)
+
+func openDeviceTest(t *testing.T) *Local {
+	t.Helper()
+	dev := gpu.New(gpu.Config{Clock: vclock.NewSim()})
+	rt, err := OpenLocal(dev, nil, Preinitialized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rt.Close() })
+	return rt
+}
+
+func TestLocalDeviceRuntime(t *testing.T) {
+	var _ DeviceRuntime = openDeviceTest(t)
+}
+
+func TestLocalDeviceCountAndSetDevice(t *testing.T) {
+	rt := openDeviceTest(t)
+	n, err := rt.DeviceCount()
+	if err != nil || n != 1 {
+		t.Fatalf("DeviceCount = %d, %v", n, err)
+	}
+	if err := rt.SetDevice(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetDevice(1); !errors.Is(err, ErrorInvalidValue) {
+		t.Fatalf("SetDevice(1) = %v, want cudaErrorInvalidValue", err)
+	}
+}
+
+func TestLocalDeviceProperties(t *testing.T) {
+	rt := openDeviceTest(t)
+	p, err := rt.DeviceProperties()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CapabilityMajor != 1 || p.CapabilityMinor != 3 || p.Name == "" {
+		t.Fatalf("properties %+v", p)
+	}
+}
+
+func TestLocalMemsetAndD2D(t *testing.T) {
+	rt := openDeviceTest(t)
+	const n = 128
+	src, _ := rt.Malloc(n)
+	dst, _ := rt.Malloc(n)
+	if err := rt.Memset(src, 0x7F, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.MemcpyDeviceToDevice(dst, src, n); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, n)
+	if err := rt.MemcpyToHost(out, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, bytes.Repeat([]byte{0x7F}, n)) {
+		t.Fatal("memset + D2D produced wrong data")
+	}
+	if err := rt.Memset(0, 1, 1); !errors.Is(err, ErrorInvalidDevicePointer) {
+		t.Fatalf("null memset = %v", err)
+	}
+	if err := rt.MemcpyDeviceToDevice(dst, src, n+1); !errors.Is(err, ErrorInvalidDevicePointer) {
+		t.Fatalf("overrun D2D = %v", err)
+	}
+}

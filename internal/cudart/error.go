@@ -1,0 +1,87 @@
+// Package cudart defines the CUDA Runtime API surface that rCUDA
+// virtualizes, together with a local implementation backed by the simulated
+// GPU. The remote implementation (package rcuda) satisfies the same Runtime
+// interface, which is the paper's core idea: "the client ... provides the
+// illusion of being a real GPU to applications requesting GPU services".
+//
+// The API follows the CUDA 2.3 runtime the paper's server daemon is built
+// on: 32-bit device pointers, synchronous memcpy and launch-by-name
+// semantics, and numeric cudaError_t result codes (carried on the wire as
+// the 32-bit "CUDA error" field of every response in Table I).
+package cudart
+
+import "fmt"
+
+// Error is a cudaError_t result code. The zero value is cudaSuccess; Error
+// implements the error interface, and helpers convert between codes and Go
+// errors so that Success maps to a nil error.
+type Error uint32
+
+// Result codes, numerically matching the CUDA 2.3 runtime for the subset
+// the middleware can produce.
+const (
+	Success                   Error = 0
+	ErrorMissingConfiguration Error = 1
+	ErrorMemoryAllocation     Error = 2
+	ErrorInitialization       Error = 3
+	ErrorLaunchFailure        Error = 4
+	ErrorInvalidConfiguration Error = 9
+	ErrorInvalidValue         Error = 11
+	ErrorInvalidDevicePointer Error = 17
+	ErrorUnknown              Error = 30
+	ErrorNotReady             Error = 34
+)
+
+// String returns the runtime's error name.
+func (e Error) String() string {
+	switch e {
+	case Success:
+		return "cudaSuccess"
+	case ErrorMissingConfiguration:
+		return "cudaErrorMissingConfiguration"
+	case ErrorMemoryAllocation:
+		return "cudaErrorMemoryAllocation"
+	case ErrorInitialization:
+		return "cudaErrorInitializationError"
+	case ErrorLaunchFailure:
+		return "cudaErrorLaunchFailure"
+	case ErrorInvalidConfiguration:
+		return "cudaErrorInvalidConfiguration"
+	case ErrorInvalidValue:
+		return "cudaErrorInvalidValue"
+	case ErrorInvalidDevicePointer:
+		return "cudaErrorInvalidDevicePointer"
+	case ErrorNotReady:
+		return "cudaErrorNotReady"
+	case ErrorUnknown:
+		return "cudaErrorUnknown"
+	default:
+		return fmt.Sprintf("cudaError(%d)", uint32(e))
+	}
+}
+
+// Error implements the error interface. Calling it on Success indicates a
+// programming error upstream; it still formats usefully.
+func (e Error) Error() string { return e.String() }
+
+// AsError converts a result code to a Go error, mapping Success to nil.
+func (e Error) AsError() error {
+	if e == Success {
+		return nil
+	}
+	return e
+}
+
+// Code extracts the wire code for an error produced by this package:
+// nil maps to Success, an Error maps to itself, and any other error maps to
+// ErrorUnknown (the server must never leak Go error strings into the
+// 32-bit result field).
+func Code(err error) Error {
+	if err == nil {
+		return Success
+	}
+	if e, ok := err.(Error); ok {
+		return e
+	}
+	return ErrorUnknown
+}

@@ -1,0 +1,80 @@
+package cudart
+
+import "sync/atomic"
+
+// TrackedRuntime decorates any Runtime with CUDA's sticky-error protocol:
+// every failing call records its cudaError_t, cudaGetLastError returns the
+// most recent one and resets the state to cudaSuccess, and
+// cudaPeekAtLastError reads it without resetting. It works identically
+// over the local runtime and the remote client, since both surface
+// cudaError_t values.
+type TrackedRuntime struct {
+	rt   Runtime
+	code atomic.Uint32
+}
+
+var _ Runtime = (*TrackedRuntime)(nil)
+
+// Track wraps a runtime with last-error tracking.
+func Track(rt Runtime) *TrackedRuntime { return &TrackedRuntime{rt: rt} }
+
+// Unwrap returns the underlying runtime (e.g. to reach AsyncRuntime or
+// DeviceRuntime extensions, whose calls are not tracked).
+func (w *TrackedRuntime) Unwrap() Runtime { return w.rt }
+
+// record stores a failure and passes the error through.
+func (w *TrackedRuntime) record(err error) error {
+	if err != nil {
+		w.code.Store(uint32(Code(err)))
+	}
+	return err
+}
+
+// GetLastError returns the last recorded error and resets the state to
+// cudaSuccess (cudaGetLastError).
+func (w *TrackedRuntime) GetLastError() Error {
+	return Error(w.code.Swap(uint32(Success)))
+}
+
+// PeekAtLastError returns the last recorded error without resetting it
+// (cudaPeekAtLastError).
+func (w *TrackedRuntime) PeekAtLastError() Error {
+	return Error(w.code.Load())
+}
+
+// Malloc implements Runtime.
+func (w *TrackedRuntime) Malloc(size uint32) (DevicePtr, error) {
+	p, err := w.rt.Malloc(size)
+	return p, w.record(err)
+}
+
+// Free implements Runtime.
+func (w *TrackedRuntime) Free(ptr DevicePtr) error {
+	return w.record(w.rt.Free(ptr))
+}
+
+// MemcpyToDevice implements Runtime.
+func (w *TrackedRuntime) MemcpyToDevice(dst DevicePtr, src []byte) error {
+	return w.record(w.rt.MemcpyToDevice(dst, src))
+}
+
+// MemcpyToHost implements Runtime.
+func (w *TrackedRuntime) MemcpyToHost(dst []byte, src DevicePtr) error {
+	return w.record(w.rt.MemcpyToHost(dst, src))
+}
+
+// Launch implements Runtime.
+func (w *TrackedRuntime) Launch(name string, grid, block Dim3, shared uint32, params []byte) error {
+	return w.record(w.rt.Launch(name, grid, block, shared, params))
+}
+
+// DeviceSynchronize implements Runtime.
+func (w *TrackedRuntime) DeviceSynchronize() error {
+	return w.record(w.rt.DeviceSynchronize())
+}
+
+// Capability implements Runtime.
+func (w *TrackedRuntime) Capability() (major, minor uint32) { return w.rt.Capability() }
+
+// Close implements Runtime.
+func (w *TrackedRuntime) Close() error { return w.record(w.rt.Close()) }

@@ -1,0 +1,138 @@
+package cudart
+
+import (
+	"errors"
+	"testing"
+
+	"rcuda/internal/gpu"
+	"rcuda/internal/vclock"
+)
+
+func trackedTestRuntime(t *testing.T) *TrackedRuntime {
+	t.Helper()
+	dev := gpu.New(gpu.Config{Clock: vclock.NewSim()})
+	rt, err := OpenLocal(dev, nil, Preinitialized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Track(rt)
+	t.Cleanup(func() { _ = w.Close() })
+	return w
+}
+
+func TestTrackedStartsClean(t *testing.T) {
+	w := trackedTestRuntime(t)
+	if w.PeekAtLastError() != Success {
+		t.Fatal("fresh runtime must report cudaSuccess")
+	}
+	if w.GetLastError() != Success {
+		t.Fatal("GetLastError on a clean runtime must be cudaSuccess")
+	}
+}
+
+func TestTrackedRecordsAndResets(t *testing.T) {
+	w := trackedTestRuntime(t)
+	if _, err := w.Malloc(0); !errors.Is(err, ErrorInvalidValue) {
+		t.Fatalf("Malloc(0) = %v", err)
+	}
+	if w.PeekAtLastError() != ErrorInvalidValue {
+		t.Fatalf("peek = %v, want cudaErrorInvalidValue", w.PeekAtLastError())
+	}
+	// Peek does not reset.
+	if w.PeekAtLastError() != ErrorInvalidValue {
+		t.Fatal("peek must not reset the state")
+	}
+	// Get returns and resets.
+	if w.GetLastError() != ErrorInvalidValue {
+		t.Fatal("get must return the recorded error")
+	}
+	if w.GetLastError() != Success {
+		t.Fatal("get must reset to cudaSuccess")
+	}
+}
+
+func TestTrackedSuccessDoesNotClear(t *testing.T) {
+	w := trackedTestRuntime(t)
+	if err := w.Free(DevicePtr(0xbad)); err == nil {
+		t.Fatal("bad free must fail")
+	}
+	// A subsequent successful call leaves the sticky error in place.
+	ptr, err := w.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Free(ptr); err != nil {
+		t.Fatal(err)
+	}
+	if w.GetLastError() != ErrorInvalidDevicePointer {
+		t.Fatal("successful calls must not clear the sticky error")
+	}
+}
+
+func TestTrackedLatestErrorWins(t *testing.T) {
+	w := trackedTestRuntime(t)
+	_, _ = w.Malloc(0)                           // cudaErrorInvalidValue
+	_ = w.Launch("nope", Dim3{}, Dim3{}, 0, nil) // cudaErrorLaunchFailure
+	if got := w.GetLastError(); got != ErrorLaunchFailure {
+		t.Fatalf("last error = %v, want the most recent (cudaErrorLaunchFailure)", got)
+	}
+}
+
+func TestTrackedPassThrough(t *testing.T) {
+	w := trackedTestRuntime(t)
+	maj, min := w.Capability()
+	if maj != 1 || min != 3 {
+		t.Fatal("capability must pass through")
+	}
+	if w.Unwrap() == nil {
+		t.Fatal("Unwrap must expose the inner runtime")
+	}
+	// Full data path through the wrapper.
+	ptr, err := w.Malloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.MemcpyToDevice(ptr, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 16)
+	if err := w.MemcpyToHost(out, ptr); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DeviceSynchronize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Free(ptr); err != nil {
+		t.Fatal(err)
+	}
+	if w.PeekAtLastError() != Success {
+		t.Fatal("clean session must stay cudaSuccess")
+	}
+}
+
+func TestLaunchConfigurationValidation(t *testing.T) {
+	w := trackedTestRuntime(t)
+	// 1024 threads per block exceeds the C1060's 512 limit.
+	err := w.Launch("any", Dim3{X: 1}, Dim3{X: 32, Y: 32}, 0, nil)
+	if !errors.Is(err, ErrorInvalidConfiguration) {
+		t.Fatalf("oversized block = %v, want cudaErrorInvalidConfiguration", err)
+	}
+	// Grid Z > 1 is not supported on CC 1.3.
+	err = w.Launch("any", Dim3{X: 1, Z: 2}, Dim3{X: 1}, 0, nil)
+	if !errors.Is(err, ErrorInvalidConfiguration) {
+		t.Fatalf("3-D grid = %v, want cudaErrorInvalidConfiguration", err)
+	}
+	// Block Z beyond 64.
+	err = w.Launch("any", Dim3{X: 1}, Dim3{X: 1, Z: 65}, 0, nil)
+	if !errors.Is(err, ErrorInvalidConfiguration) {
+		t.Fatalf("deep block = %v, want cudaErrorInvalidConfiguration", err)
+	}
+	// Oversized grid.
+	err = w.Launch("any", Dim3{X: 70000}, Dim3{X: 1}, 0, nil)
+	if !errors.Is(err, ErrorInvalidConfiguration) {
+		t.Fatalf("oversized grid = %v, want cudaErrorInvalidConfiguration", err)
+	}
+	if w.GetLastError() != ErrorInvalidConfiguration {
+		t.Fatal("configuration errors must be sticky")
+	}
+}

@@ -1,0 +1,217 @@
+// Package des is a deterministic discrete-event simulation engine: named
+// processes advance a shared virtual clock by holding for modeled
+// durations and queue FIFO on exclusive resources.
+//
+// The single global virtual clock of package vclock is enough for the
+// paper's strictly synchronous single-client executions, but studying
+// *contention* — several applications sharing one GPU server and one
+// network link, the paper's declared future work — needs genuinely
+// concurrent virtual timelines. This engine provides them with the classic
+// coroutine construction: exactly one process runs at a time, the
+// scheduler resumes the process with the earliest pending event, and ties
+// break deterministically in schedule order, so runs are exactly
+// reproducible.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Simulator owns the event queue and the virtual clock.
+type Simulator struct {
+	now     time.Duration
+	events  eventHeap
+	seq     int64
+	parked  chan struct{}
+	running bool
+	active  int // processes spawned and not yet finished
+}
+
+// New creates an empty simulator at virtual time zero.
+func New() *Simulator {
+	return &Simulator{parked: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Process is one simulated thread of control. Its methods must only be
+// called from within the function passed to Spawn.
+type Process struct {
+	sim    *Simulator
+	name   string
+	resume chan struct{}
+}
+
+// Name returns the process name given at Spawn.
+func (p *Process) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Process) Now() time.Duration { return p.sim.now }
+
+// Spawn registers a process that starts at the given virtual time offset
+// from now. Spawn must be called before Run or from within a running
+// process.
+func (s *Simulator) Spawn(name string, startAfter time.Duration, fn func(p *Process)) {
+	if startAfter < 0 {
+		startAfter = 0
+	}
+	p := &Process{sim: s, name: name, resume: make(chan struct{})}
+	s.active++
+	s.schedule(s.now+startAfter, p)
+	go func() {
+		<-p.resume
+		fn(p)
+		s.active--
+		s.parked <- struct{}{}
+	}()
+}
+
+// schedule enqueues a wake-up for p at the given instant.
+func (s *Simulator) schedule(at time.Duration, p *Process) {
+	s.seq++
+	heap.Push(&s.events, event{at: at, seq: s.seq, p: p})
+}
+
+// Run executes the simulation until no events remain, returning the final
+// virtual time. It panics on deadlock (processes still active but no
+// pending events — a process blocked forever on a resource), which is a
+// modeling bug.
+func (s *Simulator) Run() time.Duration {
+	if s.running {
+		panic("des: Run reentered")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(event)
+		if e.at < s.now {
+			panic(fmt.Sprintf("des: time went backwards: %v -> %v", s.now, e.at))
+		}
+		s.now = e.at
+		e.p.resume <- struct{}{}
+		<-s.parked
+	}
+	if s.active > 0 {
+		panic(fmt.Sprintf("des: deadlock: %d processes blocked with no pending events", s.active))
+	}
+	return s.now
+}
+
+// park suspends the calling process until its next scheduled event.
+func (p *Process) park() {
+	p.sim.parked <- struct{}{}
+	<-p.resume
+}
+
+// Hold advances the process's virtual time by d.
+func (p *Process) Hold(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.sim.schedule(p.sim.now+d, p)
+	p.park()
+}
+
+// Resource is an exclusive-capacity resource with a deterministic FIFO
+// wait queue (a GPU, a network link, a DMA engine).
+type Resource struct {
+	sim       *Simulator
+	name      string
+	capacity  int
+	available int
+	waiters   []*Process
+	// busy accumulates capacity-occupancy time for utilization metrics.
+	busy     time.Duration
+	lastTick time.Duration
+}
+
+// NewResource creates a resource with the given capacity (≥ 1).
+func (s *Simulator) NewResource(name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic(fmt.Sprintf("des: resource %q needs capacity >= 1", name))
+	}
+	return &Resource{sim: s, name: name, capacity: capacity, available: capacity}
+}
+
+// tick integrates occupancy over time.
+func (r *Resource) tick() {
+	inUse := r.capacity - r.available
+	r.busy += time.Duration(inUse) * (r.sim.now - r.lastTick)
+	r.lastTick = r.sim.now
+}
+
+// Acquire blocks the process until one unit of the resource is free, then
+// takes it. Waiters are served strictly in arrival order.
+func (r *Resource) Acquire(p *Process) {
+	r.tick()
+	if r.available > 0 && len(r.waiters) == 0 {
+		r.available--
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.park()
+	// When resumed by Release, the unit has already been transferred.
+}
+
+// Release returns one unit; the longest-waiting process (if any) gets it
+// immediately at the current virtual time.
+func (r *Resource) Release(p *Process) {
+	r.tick()
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		// Hand the unit directly to the waiter: availability is
+		// unchanged, ownership transfers.
+		r.sim.schedule(r.sim.now, next)
+		return
+	}
+	r.available++
+	if r.available > r.capacity {
+		panic(fmt.Sprintf("des: resource %q over-released", r.name))
+	}
+}
+
+// BusyTime returns the integrated capacity-occupancy (unit-seconds of use)
+// up to the current virtual time.
+func (r *Resource) BusyTime() time.Duration {
+	r.tick()
+	return r.busy
+}
+
+// Utilization returns the mean fraction of capacity in use over the span
+// from time zero to now.
+func (r *Resource) Utilization() float64 {
+	if r.sim.now == 0 {
+		return 0
+	}
+	return float64(r.BusyTime()) / float64(time.Duration(r.capacity)*r.sim.now)
+}
+
+// event is a heap entry.
+type event struct {
+	at  time.Duration
+	seq int64
+	p   *Process
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,215 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSingleProcessHolds(t *testing.T) {
+	s := New()
+	var at1, at2 time.Duration
+	s.Spawn("p", 0, func(p *Process) {
+		p.Hold(5 * time.Millisecond)
+		at1 = p.Now()
+		p.Hold(3 * time.Millisecond)
+		at2 = p.Now()
+	})
+	end := s.Run()
+	if at1 != 5*time.Millisecond || at2 != 8*time.Millisecond {
+		t.Fatalf("holds landed at %v, %v", at1, at2)
+	}
+	if end != 8*time.Millisecond {
+		t.Fatalf("final time %v", end)
+	}
+}
+
+func TestProcessesInterleaveDeterministically(t *testing.T) {
+	s := New()
+	var order []string
+	log := func(p *Process) { order = append(order, p.Name()) }
+	s.Spawn("a", 0, func(p *Process) {
+		log(p) // t=0
+		p.Hold(10 * time.Millisecond)
+		log(p) // t=10
+	})
+	s.Spawn("b", 0, func(p *Process) {
+		log(p) // t=0 (after a: spawn order breaks the tie)
+		p.Hold(5 * time.Millisecond)
+		log(p) // t=5
+	})
+	s.Run()
+	want := []string{"a", "b", "b", "a"}
+	if len(order) != len(want) {
+		t.Fatalf("order %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestStartOffsets(t *testing.T) {
+	s := New()
+	var started time.Duration
+	s.Spawn("late", 7*time.Millisecond, func(p *Process) { started = p.Now() })
+	s.Run()
+	if started != 7*time.Millisecond {
+		t.Fatalf("late process started at %v", started)
+	}
+	// Negative offsets clamp to now.
+	s2 := New()
+	s2.Spawn("neg", -time.Second, func(p *Process) { started = p.Now() })
+	s2.Run()
+	if started != 0 {
+		t.Fatalf("negative offset started at %v", started)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	s := New()
+	r := s.NewResource("gpu", 1)
+	var ends []time.Duration
+	for i := 0; i < 3; i++ {
+		s.Spawn("w", 0, func(p *Process) {
+			r.Acquire(p)
+			p.Hold(10 * time.Millisecond)
+			r.Release(p)
+			ends = append(ends, p.Now())
+		})
+	}
+	end := s.Run()
+	if end != 30*time.Millisecond {
+		t.Fatalf("three exclusive 10ms jobs end at %v, want 30ms", end)
+	}
+	want := []time.Duration{10, 20, 30}
+	for i, e := range ends {
+		if e != want[i]*time.Millisecond {
+			t.Fatalf("job %d ended at %v (FIFO violated?)", i, e)
+		}
+	}
+	if u := r.Utilization(); u < 0.999 || u > 1.001 {
+		t.Fatalf("utilization %v, want 1.0", u)
+	}
+}
+
+func TestResourceCapacityTwoOverlaps(t *testing.T) {
+	s := New()
+	r := s.NewResource("pool", 2)
+	for i := 0; i < 4; i++ {
+		s.Spawn("w", 0, func(p *Process) {
+			r.Acquire(p)
+			p.Hold(10 * time.Millisecond)
+			r.Release(p)
+		})
+	}
+	if end := s.Run(); end != 20*time.Millisecond {
+		t.Fatalf("4 jobs on capacity 2 end at %v, want 20ms", end)
+	}
+}
+
+func TestResourceFIFOUnderContention(t *testing.T) {
+	s := New()
+	r := s.NewResource("link", 1)
+	var order []string
+	s.Spawn("holder", 0, func(p *Process) {
+		r.Acquire(p)
+		p.Hold(10 * time.Millisecond)
+		r.Release(p)
+	})
+	for _, name := range []string{"first", "second"} {
+		n := name
+		start := time.Millisecond
+		if n == "second" {
+			start = 2 * time.Millisecond
+		}
+		s.Spawn(n, start, func(p *Process) {
+			r.Acquire(p)
+			order = append(order, p.Name())
+			p.Hold(time.Millisecond)
+			r.Release(p)
+		})
+	}
+	s.Run()
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("waiter order %v", order)
+	}
+}
+
+func TestUtilizationPartial(t *testing.T) {
+	s := New()
+	r := s.NewResource("gpu", 1)
+	s.Spawn("w", 0, func(p *Process) {
+		r.Acquire(p)
+		p.Hold(10 * time.Millisecond)
+		r.Release(p)
+		p.Hold(10 * time.Millisecond) // idle tail
+	})
+	s.Run()
+	if u := r.Utilization(); u < 0.499 || u > 0.501 {
+		t.Fatalf("utilization %v, want 0.5", u)
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("deadlock must panic")
+		}
+	}()
+	s := New()
+	r := s.NewResource("r", 1)
+	s.Spawn("a", 0, func(p *Process) {
+		r.Acquire(p)
+		// Never released; the second acquirer blocks forever.
+	})
+	s.Spawn("b", 0, func(p *Process) {
+		r.Acquire(p)
+	})
+	s.Run()
+}
+
+func TestBadResourceCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity must panic")
+		}
+	}()
+	New().NewResource("r", 0)
+}
+
+func TestSpawnDuringRun(t *testing.T) {
+	s := New()
+	var childAt time.Duration
+	s.Spawn("parent", 0, func(p *Process) {
+		p.Hold(5 * time.Millisecond)
+		s.Spawn("child", 3*time.Millisecond, func(c *Process) {
+			childAt = c.Now()
+		})
+		p.Hold(time.Millisecond)
+	})
+	s.Run()
+	if childAt != 8*time.Millisecond {
+		t.Fatalf("child started at %v, want 8ms", childAt)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() time.Duration {
+		s := New()
+		r := s.NewResource("gpu", 1)
+		for i := 0; i < 10; i++ {
+			d := time.Duration(i+1) * time.Millisecond
+			s.Spawn("w", time.Duration(i)*time.Millisecond/2, func(p *Process) {
+				r.Acquire(p)
+				p.Hold(d)
+				r.Release(p)
+			})
+		}
+		return s.Run()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("runs diverged: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,167 @@
+// Package kernels provides the GPU modules of the two case studies: a
+// single-precision matrix-multiply kernel and a batched 512-point FFT
+// kernel, standing in for Volkov's implementations on the Tesla C1060.
+//
+// Each kernel has two halves, per the gpu package contract: Run computes
+// real results against device memory (validated by tests), and Cost reports
+// the calibrated Tesla C1060 execution time that advances the simulation
+// clock. Modules register themselves with the device's module registry at
+// package initialization, so importing this package (directly, or through
+// the server binary) makes the case studies launchable; the module binary
+// images have the exact sizes the paper reports (21,486 and 7,852 bytes).
+package kernels
+
+import (
+	"fmt"
+	"time"
+
+	"rcuda/internal/blas"
+	"rcuda/internal/calib"
+	"rcuda/internal/cudart"
+	"rcuda/internal/fft"
+	"rcuda/internal/gpu"
+)
+
+// Module and kernel names.
+const (
+	// MMModule is the matrix-multiply GPU module of the first case study.
+	MMModule = "volkov_sgemm"
+	// SgemmKernel computes C = A·B on square m×m single-precision
+	// matrices. Parameters: aPtr, bPtr, cPtr, m.
+	SgemmKernel = "sgemmNN"
+
+	// FFTModule is the batched-FFT GPU module of the second case study.
+	FFTModule = "volkov_fft"
+	// FFTKernel computes `batch` independent in-place 512-point complex
+	// transforms. Parameters: dataPtr, batch, direction (0 forward,
+	// 1 inverse).
+	FFTKernel = "fft512"
+)
+
+func init() {
+	gpu.RegisterModule(&gpu.Module{
+		Name:       MMModule,
+		BinarySize: calib.ModuleBytes(calib.MM),
+		Kernels:    []*gpu.Kernel{sgemmKernel()},
+	})
+	gpu.RegisterModule(&gpu.Module{
+		Name:       FFTModule,
+		BinarySize: calib.ModuleBytes(calib.FFT),
+		Kernels:    []*gpu.Kernel{fftKernel()},
+	})
+}
+
+// ModuleFor returns the registered module for a case study.
+func ModuleFor(cs calib.CaseStudy) (*gpu.Module, error) {
+	if cs == calib.MM {
+		return gpu.LookupModule(MMModule)
+	}
+	return gpu.LookupModule(FFTModule)
+}
+
+func sgemmKernel() *gpu.Kernel {
+	return &gpu.Kernel{
+		Name: SgemmKernel,
+		Run: func(ec *gpu.ExecContext) error {
+			aPtr, bPtr, cPtr, m, err := sgemmParams(ec)
+			if err != nil {
+				return err
+			}
+			bytes := 4 * m * m
+			aMem, err := ec.Mem(aPtr, bytes)
+			if err != nil {
+				return fmt.Errorf("A: %w", err)
+			}
+			bMem, err := ec.Mem(bPtr, bytes)
+			if err != nil {
+				return fmt.Errorf("B: %w", err)
+			}
+			cMem, err := ec.Mem(cPtr, bytes)
+			if err != nil {
+				return fmt.Errorf("C: %w", err)
+			}
+			a := cudart.BytesFloat32(aMem)
+			b := cudart.BytesFloat32(bMem)
+			c := make([]float32, int(m)*int(m))
+			if err := blas.Sgemm(int(m), int(m), int(m), a, b, c); err != nil {
+				return err
+			}
+			copy(cMem, cudart.Float32Bytes(c))
+			return nil
+		},
+		Cost: func(ec *gpu.ExecContext) time.Duration {
+			_, _, _, m, err := sgemmParams(ec)
+			if err != nil {
+				return 0
+			}
+			return calib.KernelTime(calib.MM, int(m))
+		},
+	}
+}
+
+func sgemmParams(ec *gpu.ExecContext) (aPtr, bPtr, cPtr, m uint32, err error) {
+	read := func() uint32 {
+		v, e := ec.Params.U32()
+		if e != nil && err == nil {
+			err = e
+		}
+		return v
+	}
+	aPtr, bPtr, cPtr, m = read(), read(), read(), read()
+	if err == nil && m == 0 {
+		err = fmt.Errorf("kernels: %s with zero dimension", SgemmKernel)
+	}
+	return aPtr, bPtr, cPtr, m, err
+}
+
+func fftKernel() *gpu.Kernel {
+	return &gpu.Kernel{
+		Name: FFTKernel,
+		Run: func(ec *gpu.ExecContext) error {
+			ptr, batch, dir, err := fftParams(ec)
+			if err != nil {
+				return err
+			}
+			mem, err := ec.Mem(ptr, batch*fft.BytesPerTransform)
+			if err != nil {
+				return err
+			}
+			signal := cudart.BytesComplex64(mem)
+			d := fft.Forward
+			if dir == 1 {
+				d = fft.Inverse
+			}
+			if err := fft.TransformBatch(d, signal, fft.Points); err != nil {
+				return err
+			}
+			copy(mem, cudart.Complex64Bytes(signal))
+			return nil
+		},
+		Cost: func(ec *gpu.ExecContext) time.Duration {
+			_, batch, _, err := fftParams(ec)
+			if err != nil {
+				return 0
+			}
+			return calib.KernelTime(calib.FFT, int(batch))
+		},
+	}
+}
+
+func fftParams(ec *gpu.ExecContext) (ptr, batch, dir uint32, err error) {
+	read := func() uint32 {
+		v, e := ec.Params.U32()
+		if e != nil && err == nil {
+			err = e
+		}
+		return v
+	}
+	ptr, batch, dir = read(), read(), read()
+	if err == nil {
+		if batch == 0 {
+			err = fmt.Errorf("kernels: %s with zero batch", FFTKernel)
+		} else if dir > 1 {
+			err = fmt.Errorf("kernels: %s with direction %d", FFTKernel, dir)
+		}
+	}
+	return ptr, batch, dir, err
+}

@@ -1,0 +1,261 @@
+package kernels
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rcuda/internal/blas"
+	"rcuda/internal/calib"
+	"rcuda/internal/cudart"
+	"rcuda/internal/fft"
+	"rcuda/internal/gpu"
+	"rcuda/internal/vclock"
+)
+
+func openRuntime(t *testing.T, cs calib.CaseStudy) (*cudart.Local, *vclock.Sim) {
+	t.Helper()
+	clk := vclock.NewSim()
+	dev := gpu.New(gpu.Config{Clock: clk})
+	mod, err := ModuleFor(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := cudart.OpenLocal(dev, mod, cudart.Preinitialized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rt.Close() })
+	return rt, clk
+}
+
+func TestModulesRegisteredWithPaperSizes(t *testing.T) {
+	mm, err := gpu.LookupModule(MMModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := mm.Binary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != 21486 {
+		t.Fatalf("MM module image = %d bytes, want 21486", len(img))
+	}
+	fftMod, err := gpu.LookupModule(FFTModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err = fftMod.Binary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != 7852 {
+		t.Fatalf("FFT module image = %d bytes, want 7852", len(img))
+	}
+}
+
+func TestSgemmKernelComputesProduct(t *testing.T) {
+	rt, _ := openRuntime(t, calib.MM)
+	const m = 48
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float32, m*m)
+	b := make([]float32, m*m)
+	for i := range a {
+		a[i] = rng.Float32()*2 - 1
+		b[i] = rng.Float32()*2 - 1
+	}
+	bytes := uint32(4 * m * m)
+	aPtr, _ := rt.Malloc(bytes)
+	bPtr, _ := rt.Malloc(bytes)
+	cPtr, _ := rt.Malloc(bytes)
+	if err := rt.MemcpyToDevice(aPtr, cudart.Float32Bytes(a)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.MemcpyToDevice(bPtr, cudart.Float32Bytes(b)); err != nil {
+		t.Fatal(err)
+	}
+	err := rt.Launch(SgemmKernel, cudart.Dim3{X: m / 16, Y: m / 16}, cudart.Dim3{X: 16, Y: 16}, 0,
+		gpu.PackParams(uint32(aPtr), uint32(bPtr), uint32(cPtr), m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, bytes)
+	if err := rt.MemcpyToHost(out, cPtr); err != nil {
+		t.Fatal(err)
+	}
+	got := cudart.BytesFloat32(out)
+	want := make([]float32, m*m)
+	if err := blas.SgemmNaive(m, m, m, a, b, want); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-3 {
+			t.Fatalf("C[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSgemmKernelCostIsCalibrated(t *testing.T) {
+	rt, clk := openRuntime(t, calib.MM)
+	const m = 256
+	bytes := uint32(4 * m * m)
+	aPtr, _ := rt.Malloc(bytes)
+	bPtr, _ := rt.Malloc(bytes)
+	cPtr, _ := rt.Malloc(bytes)
+	_ = rt.MemcpyToDevice(aPtr, make([]byte, bytes))
+	_ = rt.MemcpyToDevice(bPtr, make([]byte, bytes))
+	before := clk.Now()
+	if err := rt.Launch(SgemmKernel, cudart.Dim3{X: 16}, cudart.Dim3{X: 16}, 0,
+		gpu.PackParams(uint32(aPtr), uint32(bPtr), uint32(cPtr), m)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := clk.Now()-before, calib.KernelTime(calib.MM, m); got != want {
+		t.Fatalf("kernel charged %v, want calibrated %v", got, want)
+	}
+}
+
+func TestSgemmKernelErrors(t *testing.T) {
+	rt, _ := openRuntime(t, calib.MM)
+	// Zero dimension.
+	if err := rt.Launch(SgemmKernel, cudart.Dim3{}, cudart.Dim3{}, 0,
+		gpu.PackParams(0, 0, 0, 0)); err == nil {
+		t.Fatal("zero dimension must fail")
+	}
+	// Truncated parameter block.
+	if err := rt.Launch(SgemmKernel, cudart.Dim3{}, cudart.Dim3{}, 0,
+		gpu.PackParams(1, 2)); err == nil {
+		t.Fatal("short params must fail")
+	}
+	// Bad device pointers.
+	if err := rt.Launch(SgemmKernel, cudart.Dim3{}, cudart.Dim3{}, 0,
+		gpu.PackParams(4, 8, 12, 16)); err == nil {
+		t.Fatal("invalid pointers must fail")
+	}
+}
+
+func TestFFTKernelMatchesReference(t *testing.T) {
+	rt, _ := openRuntime(t, calib.FFT)
+	const batch = 3
+	rng := rand.New(rand.NewSource(2))
+	signal := make([]complex64, batch*fft.Points)
+	for i := range signal {
+		signal[i] = complex(rng.Float32()*2-1, rng.Float32()*2-1)
+	}
+	data := cudart.Complex64Bytes(signal)
+	ptr, err := rt.Malloc(uint32(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.MemcpyToDevice(ptr, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Launch(FFTKernel, cudart.Dim3{X: batch}, cudart.Dim3{X: 64}, 0,
+		gpu.PackParams(uint32(ptr), batch, 0)); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(data))
+	if err := rt.MemcpyToHost(out, ptr); err != nil {
+		t.Fatal(err)
+	}
+	got := cudart.BytesComplex64(out)
+	want := append([]complex64(nil), signal...)
+	if err := fft.TransformBatch(fft.Forward, want, fft.Points); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if cmplx.Abs(complex128(got[i]-want[i])) > 1e-3 {
+			t.Fatalf("point %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFFTKernelInverseRoundTrip(t *testing.T) {
+	rt, _ := openRuntime(t, calib.FFT)
+	const batch = 2
+	rng := rand.New(rand.NewSource(3))
+	signal := make([]complex64, batch*fft.Points)
+	for i := range signal {
+		signal[i] = complex(rng.Float32(), rng.Float32())
+	}
+	data := cudart.Complex64Bytes(signal)
+	ptr, _ := rt.Malloc(uint32(len(data)))
+	_ = rt.MemcpyToDevice(ptr, data)
+	if err := rt.Launch(FFTKernel, cudart.Dim3{X: batch}, cudart.Dim3{X: 64}, 0,
+		gpu.PackParams(uint32(ptr), batch, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Launch(FFTKernel, cudart.Dim3{X: batch}, cudart.Dim3{X: 64}, 0,
+		gpu.PackParams(uint32(ptr), batch, 1)); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(data))
+	_ = rt.MemcpyToHost(out, ptr)
+	got := cudart.BytesComplex64(out)
+	for i := range signal {
+		if cmplx.Abs(complex128(got[i]-signal[i])) > 1e-3 {
+			t.Fatalf("round trip point %d = %v, want %v", i, got[i], signal[i])
+		}
+	}
+}
+
+func TestFFTKernelCostIsCalibrated(t *testing.T) {
+	rt, clk := openRuntime(t, calib.FFT)
+	const batch = 8
+	data := make([]byte, batch*fft.BytesPerTransform)
+	ptr, _ := rt.Malloc(uint32(len(data)))
+	_ = rt.MemcpyToDevice(ptr, data)
+	before := clk.Now()
+	if err := rt.Launch(FFTKernel, cudart.Dim3{X: batch}, cudart.Dim3{X: 64}, 0,
+		gpu.PackParams(uint32(ptr), batch, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := clk.Now()-before, calib.KernelTime(calib.FFT, batch); got != want {
+		t.Fatalf("kernel charged %v, want calibrated %v", got, want)
+	}
+}
+
+func TestFFTKernelErrors(t *testing.T) {
+	rt, _ := openRuntime(t, calib.FFT)
+	if err := rt.Launch(FFTKernel, cudart.Dim3{}, cudart.Dim3{}, 0,
+		gpu.PackParams(0, 0, 0)); err == nil {
+		t.Fatal("zero batch must fail")
+	}
+	if err := rt.Launch(FFTKernel, cudart.Dim3{}, cudart.Dim3{}, 0,
+		gpu.PackParams(0, 1, 7)); err == nil {
+		t.Fatal("bad direction must fail")
+	}
+}
+
+func TestModuleFor(t *testing.T) {
+	mm, err := ModuleFor(calib.MM)
+	if err != nil || mm.Name != MMModule {
+		t.Fatalf("ModuleFor(MM) = %v, %v", mm, err)
+	}
+	f, err := ModuleFor(calib.FFT)
+	if err != nil || f.Name != FFTModule {
+		t.Fatalf("ModuleFor(FFT) = %v, %v", f, err)
+	}
+}
+
+func TestCostMonotoneAcrossPaperSizes(t *testing.T) {
+	var prev time.Duration
+	for _, m := range calib.Sizes(calib.MM) {
+		k := calib.KernelTime(calib.MM, m)
+		if k <= prev {
+			t.Fatalf("MM kernel cost not monotone at %d", m)
+		}
+		prev = k
+	}
+}
+
+func TestComplexByteHelpersRoundTrip(t *testing.T) {
+	in := []complex64{1, complex(0, -1), complex(3.5, 2.25)}
+	got := cudart.BytesComplex64(cudart.Complex64Bytes(in))
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("round trip %d: %v != %v", i, got[i], in[i])
+		}
+	}
+}

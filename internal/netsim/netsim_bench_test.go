@@ -1,0 +1,53 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkWireTimeGigaE(b *testing.B) {
+	l := GigaE()
+	b.ReportAllocs()
+	var sink time.Duration
+	for i := 0; i < b.N; i++ {
+		sink += l.WireTime(int64(i%64) << 20)
+	}
+	benchSink = sink
+}
+
+func BenchmarkSmallMessageTime(b *testing.B) {
+	l := GigaE()
+	b.ReportAllocs()
+	var sink time.Duration
+	for i := 0; i < b.N; i++ {
+		sink += l.SmallMessageTime(int64(4 + i%21000))
+	}
+	benchSink = sink
+}
+
+func BenchmarkPingPongRoundTrip(b *testing.B) {
+	pp := &PingPong{Link: IB40G(), Noise: NewNoise(1, 0.005)}
+	b.ReportAllocs()
+	var sink time.Duration
+	for i := 0; i < b.N; i++ {
+		sink += pp.RoundTrip(8 << 20)
+	}
+	benchSink = sink
+}
+
+func BenchmarkTCPMicroModel(b *testing.B) {
+	m := GigaETCPModel()
+	b.ReportAllocs()
+	var sink time.Duration
+	for i := 0; i < b.N; i++ {
+		d, err := m.OneWay(int64(i % 65536))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += d
+	}
+	benchSink = sink
+}
+
+// benchSink defeats dead-code elimination in benchmarks.
+var benchSink time.Duration

@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"errors"
+	"time"
+
+	"rcuda/internal/stats"
+)
+
+// PingPong replays the paper's latency-characterization methodology against
+// a simulated link: a customized ping-pong test over TCP sockets with
+// Nagle's algorithm disabled. Small payloads are summarized by the average
+// of many repetitions (250 in the paper); large payloads by the minimum
+// (100 repetitions), which strips transient jitter and exposes the linear
+// bandwidth regime.
+type PingPong struct {
+	Link  *Link
+	Noise *Noise
+	// Nagle, when true, re-enables the modeled Nagle delay that the paper
+	// explicitly disables: small sends wait for the delayed-ACK timer.
+	Nagle bool
+}
+
+// nagleDelay approximates the sender-side stall Nagle's algorithm introduces
+// on sub-MSS messages when the previous segment is unacknowledged: the
+// classic interaction with delayed ACKs costs on the order of the delayed
+// ACK timer. Only small messages are affected.
+const nagleDelay = 40 * time.Millisecond
+
+const mss = 1460 // Ethernet TCP maximum segment size in bytes
+
+// RoundTrip returns one simulated ping-pong round trip for a payload of the
+// given size: two one-way wire times plus noise (plus the Nagle stall when
+// enabled and the payload is below one MSS).
+func (p *PingPong) RoundTrip(bytes int64) time.Duration {
+	t := p.Link.WireTime(bytes) * 2
+	if p.Nagle && bytes < mss {
+		t += nagleDelay
+	}
+	return p.Noise.Perturb(t)
+}
+
+// OneWay returns half of one simulated round trip, the quantity the paper
+// reports as end-to-end latency ("bandwidth is extracted from the measured
+// round-trip time divided by two").
+func (p *PingPong) OneWay(bytes int64) time.Duration {
+	return p.RoundTrip(bytes) / 2
+}
+
+// MeasureSmall runs reps round trips for every size and returns the average
+// one-way latency per size in µs, reproducing the left-hand plots of
+// Figures 3 and 4.
+func (p *PingPong) MeasureSmall(sizes []int64, reps int) []stats.Point {
+	out := make([]stats.Point, 0, len(sizes))
+	for _, sz := range sizes {
+		samples := make([]float64, reps)
+		for i := range samples {
+			samples[i] = float64(p.OneWay(sz)) / float64(time.Microsecond)
+		}
+		out = append(out, stats.Point{X: float64(sz), Y: stats.Mean(samples)})
+	}
+	return out
+}
+
+// MeasureLarge runs reps round trips for every size and returns the minimum
+// one-way latency per size in ms, reproducing the right-hand plots of
+// Figures 3 and 4.
+func (p *PingPong) MeasureLarge(sizes []int64, reps int) []stats.Point {
+	out := make([]stats.Point, 0, len(sizes))
+	for _, sz := range sizes {
+		samples := make([]float64, reps)
+		for i := range samples {
+			samples[i] = float64(p.OneWay(sz)) / float64(time.Millisecond)
+		}
+		out = append(out, stats.Point{X: BytesToMiB(sz), Y: stats.Min(samples)})
+	}
+	return out
+}
+
+// FitLarge performs the paper's linear regression of one-way latency (ms)
+// against payload size (MiB) over measured large-payload points, yielding
+// the f/g-style transfer-time function for this link.
+func FitLarge(points []stats.Point) (stats.Linear, error) {
+	if len(points) < 2 {
+		return stats.Linear{}, errors.New("netsim: need at least two points to fit")
+	}
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, pt := range points {
+		xs[i], ys[i] = pt.X, pt.Y
+	}
+	return stats.FitLinear(xs, ys)
+}
+
+// EffectiveBandwidth derives the one-way throughput (MiB/s) implied by a
+// fitted large-payload latency function, evaluated asymptotically as the
+// inverse slope.
+func EffectiveBandwidth(fit stats.Linear) float64 {
+	if fit.Slope <= 0 {
+		return 0
+	}
+	return 1e3 / fit.Slope
+}

@@ -1,0 +1,202 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func simpleChart() *Chart {
+	return &Chart{
+		Title:  "Execution time",
+		XLabel: "size",
+		YLabel: "seconds",
+		Series: []Series{
+			{Name: "CPU", X: []float64{1, 2, 3}, Y: []float64{2, 4, 6}},
+			{Name: "GPU", X: []float64{1, 2, 3}, Y: []float64{3, 3.5, 4}},
+		},
+	}
+}
+
+func TestSVGIsWellFormedXML(t *testing.T) {
+	out, err := simpleChart().SVG(640, 420)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG does not parse as XML: %v", err)
+		}
+	}
+}
+
+func TestSVGContainsSeriesAndLabels(t *testing.T) {
+	out, err := simpleChart().SVG(640, 420)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Execution time", "CPU", "GPU", "seconds", "<polyline"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("%d polylines, want 2", got)
+	}
+}
+
+func TestSVGDeterministic(t *testing.T) {
+	a, err := simpleChart().SVG(640, 420)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := simpleChart().SVG(640, 420)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical charts must render identically")
+	}
+}
+
+func TestSVGValidation(t *testing.T) {
+	if _, err := (&Chart{}).SVG(640, 420); err == nil {
+		t.Fatal("empty chart must fail")
+	}
+	if _, err := simpleChart().SVG(10, 10); err == nil {
+		t.Fatal("tiny canvas must fail")
+	}
+	ragged := &Chart{Series: []Series{{Name: "r", X: []float64{1, 2}, Y: []float64{1}}}}
+	if _, err := ragged.SVG(640, 420); err == nil {
+		t.Fatal("ragged series must fail")
+	}
+	logNeg := &Chart{LogY: true, Series: []Series{{Name: "n", X: []float64{1}, Y: []float64{-1}}}}
+	if _, err := logNeg.SVG(640, 420); err == nil {
+		t.Fatal("negative value on log axis must fail")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := simpleChart()
+	c.Title = "a < b & c > d"
+	out, err := c.SVG(640, 420)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "a < b & c") {
+		t.Fatal("markup characters must be escaped")
+	}
+	if !strings.Contains(out, "a &lt; b &amp; c &gt; d") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestScaleMapping(t *testing.T) {
+	s, err := newScale([]float64{0, 100}, false, 100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := s.pix(0), s.pix(100)
+	if lo >= hi {
+		t.Fatal("pixel mapping must be increasing")
+	}
+	mid := s.pix(50)
+	if mid <= lo || mid >= hi {
+		t.Fatal("midpoint must map inside the range")
+	}
+	if math.Abs(mid-(lo+hi)/2) > 0.5 {
+		t.Fatalf("linear scale midpoint %v, want %v", mid, (lo+hi)/2)
+	}
+}
+
+func TestLogScaleMapping(t *testing.T) {
+	s, err := newScale([]float64{1, 10000}, true, 0, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Log spacing: decades are equidistant.
+	d1 := s.pix(10) - s.pix(1)
+	d2 := s.pix(100) - s.pix(10)
+	if math.Abs(d1-d2) > 0.5 {
+		t.Fatalf("log decades not equidistant: %v vs %v", d1, d2)
+	}
+	ticks := s.ticks()
+	if len(ticks) < 4 {
+		t.Fatalf("log ticks %v, want a tick per decade", ticks)
+	}
+}
+
+func TestFlatSeries(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "flat", X: []float64{1, 2}, Y: []float64{5, 5}}}}
+	if _, err := c.SVG(640, 420); err != nil {
+		t.Fatalf("flat series must render: %v", err)
+	}
+}
+
+func TestNiceStep(t *testing.T) {
+	cases := map[float64]float64{
+		0.7: 1, 1.3: 2, 3.0: 5, 7.0: 10, 23: 50, 0.023: 0.05,
+	}
+	for raw, want := range cases {
+		if got := niceStep(raw); math.Abs(got-want) > want*1e-9 {
+			t.Fatalf("niceStep(%g) = %g, want %g", raw, got, want)
+		}
+	}
+	if niceStep(0) != 1 {
+		t.Fatal("degenerate step")
+	}
+}
+
+func TestTickLabels(t *testing.T) {
+	cases := map[float64]string{
+		2000000: "2M", 50000: "50k", 42: "42", 3: "3", 0.25: "0.25",
+	}
+	for v, want := range cases {
+		if got := tickLabel(v); got != want {
+			t.Fatalf("tickLabel(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestSortedByX(t *testing.T) {
+	s := SortedByX(Series{Name: "s", X: []float64{3, 1, 2}, Y: []float64{30, 10, 20}})
+	for i, want := range []float64{1, 2, 3} {
+		if s.X[i] != want || s.Y[i] != want*10 {
+			t.Fatalf("sorted series wrong at %d: %+v", i, s)
+		}
+	}
+}
+
+// Property: every in-range data point maps strictly inside the plot frame.
+func TestPixInsideFrameProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)
+		}
+		s, err := newScale(vals, false, 100, 500)
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			p := s.pix(v)
+			if p < 100 || p > 500 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame header: a 4-byte little-endian payload length. The stream needs a
+// delimiter because several messages (the initialization module, memcpy
+// data, launch variable region) carry variable-length payloads. The header
+// is transport overhead — it is not part of the Table I byte accounting,
+// whose measured latency curves already include all per-message framing.
+const frameHeaderSize = 4
+
+// MaxFrameSize bounds a single frame. The largest legitimate payload is a
+// cudaMemcpy of a full device allocation; the Tesla C1060 has 4 GB of
+// device memory, but the paper's largest single transfer is a
+// 1296 MB matrix, so 2 GiB leaves generous headroom while still rejecting
+// corrupt headers.
+const MaxFrameSize = 2 << 30
+
+// WriteFrame writes one length-prefixed frame containing the encoded
+// message. It performs a single Write call so a TCP transport with Nagle
+// disabled emits the message eagerly, mirroring how the paper's middleware
+// "explicitly control[s] the instant a frame must be sent out".
+func WriteFrame(w io.Writer, m Message) error {
+	buf := make([]byte, frameHeaderSize, frameHeaderSize+m.WireSize())
+	binary.LittleEndian.PutUint32(buf, uint32(m.WireSize()))
+	buf = m.Encode(buf)
+	if len(buf) != frameHeaderSize+m.WireSize() {
+		return fmt.Errorf("protocol: %T encoded %d bytes, declared %d",
+			m, len(buf)-frameHeaderSize, m.WireSize())
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame and returns its payload.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("protocol: frame of %d bytes exceeds limit %d", n, MaxFrameSize)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,92 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRequest feeds arbitrary bytes to the request decoder: it must
+// never panic and never return both a nil request and a nil error. Seeds
+// cover every legitimate request shape.
+func FuzzDecodeRequest(f *testing.F) {
+	seeds := []Request{
+		&MallocRequest{Size: 64},
+		&MemcpyToDeviceRequest{Dst: 1, Data: []byte{1, 2, 3}},
+		&MemcpyToHostRequest{Src: 2, Size: 8},
+		&LaunchRequest{Name: "sgemmNN", Params: []byte{1, 2, 3, 4}},
+		&FreeRequest{DevPtr: 3},
+		&SyncRequest{},
+		&FinalizeRequest{},
+		&StreamCreateRequest{},
+		&StreamOpRequest{Code: OpStreamSynchronize, Stream: 1},
+		&MemcpyToDeviceAsyncRequest{Dst: 1, Stream: 1, Data: []byte{9}},
+		&MemcpyToHostAsyncRequest{Src: 1, Size: 4, Stream: 1},
+		&EventCreateRequest{},
+		&EventRecordRequest{Event: 1, Stream: 1},
+		&EventOpRequest{Code: OpEventDestroy, Event: 1},
+		&EventElapsedRequest{Start: 1, End: 2},
+		&GetDeviceCountRequest{},
+		&SetDeviceRequest{Device: 1},
+		&GetDevicePropertiesRequest{},
+		&MemsetRequest{DevPtr: 1, Value: 2, Size: 3},
+		&MemcpyD2DRequest{Dst: 1, Src: 2, Size: 3},
+	}
+	for _, s := range seeds {
+		f.Add(s.Encode(nil))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		req, err := DecodeRequest(raw)
+		if err == nil && req == nil {
+			t.Fatal("nil request with nil error")
+		}
+		if err != nil {
+			return
+		}
+		// Valid decodes must re-encode to the identical bytes
+		// (canonical wire form round trip).
+		enc := req.Encode(nil)
+		if !bytes.Equal(enc, raw) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", raw, enc)
+		}
+	})
+}
+
+// FuzzReadFrame feeds arbitrary byte streams to the frame reader: it must
+// never panic and never allocate absurd buffers from a corrupt header.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, &MallocRequest{Size: 64})
+	f.Add(buf.Bytes())
+	f.Add([]byte{4, 0, 0, 0, 1, 2, 3, 4})
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		payload, err := ReadFrame(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if len(payload) > len(raw) {
+			t.Fatalf("frame payload %d exceeds input %d", len(payload), len(raw))
+		}
+	})
+}
+
+// FuzzDecodeInitRequest covers the positional initialization message.
+func FuzzDecodeInitRequest(f *testing.F) {
+	f.Add((&InitRequest{Module: []byte("module")}).Encode(nil))
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		req, err := DecodeInitRequest(raw)
+		if err == nil && req == nil {
+			t.Fatal("nil request with nil error")
+		}
+		if err == nil {
+			if !bytes.Equal(req.Encode(nil), raw) {
+				t.Fatal("init re-encode mismatch")
+			}
+		}
+	})
+}

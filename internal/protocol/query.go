@@ -1,0 +1,38 @@
+package protocol
+
+import "fmt"
+
+// Non-blocking completion queries: cudaStreamQuery and cudaEventQuery.
+// Both are 8-byte requests (function id + handle) answered by a bare
+// result code — cudaSuccess when the work has drained, cudaErrorNotReady
+// while it is pending. They reuse the StreamOpRequest/EventOpRequest
+// message shapes with their own operation codes.
+const (
+	OpStreamQuery Op = iota + opDeviceSentinel
+	OpEventQuery
+	opQuerySentinel
+)
+
+// queryOpNames extends Op.String for the query operations.
+var queryOpNames = map[Op]string{
+	OpStreamQuery: "cudaStreamQuery",
+	OpEventQuery:  "cudaEventQuery",
+}
+
+// decodeQueryRequest handles the query operations for DecodeRequest.
+func decodeQueryRequest(op Op, b []byte) (Request, error) {
+	switch op {
+	case OpStreamQuery:
+		if len(b) != 8 {
+			return nil, ErrShortMessage
+		}
+		return &StreamOpRequest{Code: op, Stream: getU32(b, 4)}, nil
+	case OpEventQuery:
+		if len(b) != 8 {
+			return nil, ErrShortMessage
+		}
+		return &EventOpRequest{Code: op, Event: getU32(b, 4)}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadOp, uint32(op))
+	}
+}

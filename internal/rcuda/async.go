@@ -1,0 +1,259 @@
+package rcuda
+
+import (
+	"fmt"
+	"time"
+
+	"rcuda/internal/cudart"
+	"rcuda/internal/gpu"
+	"rcuda/internal/protocol"
+	"rcuda/internal/transport"
+)
+
+// This file carries the asynchronous extension across the wire: the client
+// methods implementing cudart.AsyncRuntime and the server dispatch for the
+// stream/event operations. The paper defers asynchronous transfers to
+// future work; here asynchrony lives on the server's device (stream
+// overlap between the PCIe copy engine and the compute engine) while the
+// wire remains synchronous request/response.
+
+var _ cudart.AsyncRuntime = (*Client)(nil)
+
+// dispatchAsync handles the extended requests. It reports handled=false
+// for requests that belong to the synchronous dispatcher.
+func (s *Server) dispatchAsync(conn transport.Conn, ctx *gpu.Context, req protocol.Request) (handled bool, err error) {
+	switch r := req.(type) {
+	case *protocol.StreamCreateRequest:
+		stream, opErr := ctx.StreamCreate()
+		return true, conn.Send(&protocol.StreamCreateResponse{Err: code(opErr), Stream: stream})
+	case *protocol.StreamOpRequest:
+		var opErr error
+		switch r.Code {
+		case protocol.OpStreamDestroy:
+			opErr = ctx.StreamDestroy(r.Stream)
+		case protocol.OpStreamQuery:
+			ready, err := ctx.StreamReady(r.Stream)
+			if err == nil && !ready {
+				err = cudart.ErrorNotReady
+			}
+			opErr = err
+		default:
+			opErr = ctx.StreamSynchronize(r.Stream)
+		}
+		return true, conn.Send(&protocol.SyncResponse{Err: code(opErr)})
+	case *protocol.MemcpyToDeviceAsyncRequest:
+		opErr := ctx.CopyToDeviceAsync(r.Dst, r.Data, r.Stream)
+		return true, conn.Send(&protocol.MemcpyToDeviceResponse{Err: code(opErr)})
+	case *protocol.MemcpyToHostAsyncRequest:
+		data, opErr := ctx.CopyToHostAsync(r.Src, r.Size, r.Stream)
+		return true, conn.Send(&protocol.MemcpyToHostResponse{Data: data, Err: code(opErr)})
+	case *protocol.EventCreateRequest:
+		event, opErr := ctx.EventCreate()
+		return true, conn.Send(&protocol.EventCreateResponse{Err: code(opErr), Event: event})
+	case *protocol.EventRecordRequest:
+		return true, conn.Send(&protocol.SyncResponse{Err: code(ctx.EventRecord(r.Event, r.Stream))})
+	case *protocol.EventOpRequest:
+		var opErr error
+		switch r.Code {
+		case protocol.OpEventDestroy:
+			opErr = ctx.EventDestroy(r.Event)
+		case protocol.OpEventQuery:
+			ready, err := ctx.EventReady(r.Event)
+			if err == nil && !ready {
+				err = cudart.ErrorNotReady
+			}
+			opErr = err
+		default:
+			opErr = ctx.EventSynchronize(r.Event)
+		}
+		return true, conn.Send(&protocol.SyncResponse{Err: code(opErr)})
+	case *protocol.EventElapsedRequest:
+		elapsed, opErr := ctx.EventElapsed(r.Start, r.End)
+		return true, conn.Send(&protocol.EventElapsedResponse{
+			Err:         code(opErr),
+			ElapsedNano: uint64(elapsed),
+		})
+	default:
+		return false, nil
+	}
+}
+
+// --- Client side --------------------------------------------------------------
+
+// StreamCreate implements cudart.AsyncRuntime.
+func (c *Client) StreamCreate() (cudart.Stream, error) {
+	payload, err := c.roundTrip(&protocol.StreamCreateRequest{})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := protocol.DecodeStreamCreateResponse(payload)
+	if err != nil {
+		return 0, err
+	}
+	if err := cudart.Error(resp.Err).AsError(); err != nil {
+		return 0, err
+	}
+	return cudart.Stream(resp.Stream), nil
+}
+
+// streamOp issues a destroy/synchronize and decodes the bare result code.
+func (c *Client) streamOp(op protocol.Op, stream cudart.Stream) error {
+	payload, err := c.roundTrip(&protocol.StreamOpRequest{Code: op, Stream: uint32(stream)})
+	if err != nil {
+		return err
+	}
+	resp, err := protocol.DecodeSyncResponse(payload)
+	if err != nil {
+		return err
+	}
+	return cudart.Error(resp.Err).AsError()
+}
+
+// StreamSynchronize implements cudart.AsyncRuntime.
+func (c *Client) StreamSynchronize(s cudart.Stream) error {
+	return c.streamOp(protocol.OpStreamSynchronize, s)
+}
+
+// StreamDestroy implements cudart.AsyncRuntime.
+func (c *Client) StreamDestroy(s cudart.Stream) error {
+	return c.streamOp(protocol.OpStreamDestroy, s)
+}
+
+// StreamQuery implements cudart.AsyncRuntime: nil means the stream has
+// drained; cudaErrorNotReady means work is still pending on the server GPU.
+func (c *Client) StreamQuery(s cudart.Stream) error {
+	return c.streamOp(protocol.OpStreamQuery, s)
+}
+
+// EventQuery implements cudart.AsyncRuntime with the same protocol.
+func (c *Client) EventQuery(e cudart.Event) error {
+	return c.eventOp(protocol.OpEventQuery, e)
+}
+
+// MemcpyToDeviceAsync implements cudart.AsyncRuntime.
+func (c *Client) MemcpyToDeviceAsync(dst cudart.DevicePtr, src []byte, s cudart.Stream) error {
+	payload, err := c.roundTrip(&protocol.MemcpyToDeviceAsyncRequest{
+		Dst: uint32(dst), Stream: uint32(s), Data: src,
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := protocol.DecodeMemcpyToDeviceResponse(payload)
+	if err != nil {
+		return err
+	}
+	return cudart.Error(resp.Err).AsError()
+}
+
+// MemcpyToHostAsync implements cudart.AsyncRuntime. The wire returns the
+// data with the acknowledgement; it is guaranteed meaningful to the
+// application only after the stream synchronizes, as with cudaMemcpyAsync.
+func (c *Client) MemcpyToHostAsync(dst []byte, src cudart.DevicePtr, s cudart.Stream) error {
+	payload, err := c.roundTrip(&protocol.MemcpyToHostAsyncRequest{
+		Src: uint32(src), Size: uint32(len(dst)), Stream: uint32(s),
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := protocol.DecodeMemcpyToHostResponse(payload)
+	if err != nil {
+		return err
+	}
+	if err := cudart.Error(resp.Err).AsError(); err != nil {
+		return err
+	}
+	if len(resp.Data) != len(dst) {
+		return fmt.Errorf("rcuda: async memcpy returned %d bytes, want %d", len(resp.Data), len(dst))
+	}
+	copy(dst, resp.Data)
+	return nil
+}
+
+// LaunchAsync implements cudart.AsyncRuntime, reusing the launch message's
+// stream field.
+func (c *Client) LaunchAsync(name string, grid, block cudart.Dim3, shared uint32, params []byte, s cudart.Stream) error {
+	payload, err := c.roundTrip(&protocol.LaunchRequest{
+		BlockDim:   [3]uint32{block.X, block.Y, block.Z},
+		GridDim:    [2]uint32{grid.X, grid.Y},
+		SharedSize: shared,
+		Stream:     uint32(s),
+		Name:       name,
+		Params:     params,
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := protocol.DecodeLaunchResponse(payload)
+	if err != nil {
+		return err
+	}
+	return cudart.Error(resp.Err).AsError()
+}
+
+// EventCreate implements cudart.AsyncRuntime.
+func (c *Client) EventCreate() (cudart.Event, error) {
+	payload, err := c.roundTrip(&protocol.EventCreateRequest{})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := protocol.DecodeEventCreateResponse(payload)
+	if err != nil {
+		return 0, err
+	}
+	if err := cudart.Error(resp.Err).AsError(); err != nil {
+		return 0, err
+	}
+	return cudart.Event(resp.Event), nil
+}
+
+// EventRecord implements cudart.AsyncRuntime.
+func (c *Client) EventRecord(e cudart.Event, s cudart.Stream) error {
+	payload, err := c.roundTrip(&protocol.EventRecordRequest{Event: uint32(e), Stream: uint32(s)})
+	if err != nil {
+		return err
+	}
+	resp, err := protocol.DecodeSyncResponse(payload)
+	if err != nil {
+		return err
+	}
+	return cudart.Error(resp.Err).AsError()
+}
+
+// eventOp issues a synchronize/destroy and decodes the bare result code.
+func (c *Client) eventOp(op protocol.Op, e cudart.Event) error {
+	payload, err := c.roundTrip(&protocol.EventOpRequest{Code: op, Event: uint32(e)})
+	if err != nil {
+		return err
+	}
+	resp, err := protocol.DecodeSyncResponse(payload)
+	if err != nil {
+		return err
+	}
+	return cudart.Error(resp.Err).AsError()
+}
+
+// EventSynchronize implements cudart.AsyncRuntime.
+func (c *Client) EventSynchronize(e cudart.Event) error {
+	return c.eventOp(protocol.OpEventSynchronize, e)
+}
+
+// EventDestroy implements cudart.AsyncRuntime.
+func (c *Client) EventDestroy(e cudart.Event) error {
+	return c.eventOp(protocol.OpEventDestroy, e)
+}
+
+// EventElapsed implements cudart.AsyncRuntime.
+func (c *Client) EventElapsed(start, end cudart.Event) (time.Duration, error) {
+	payload, err := c.roundTrip(&protocol.EventElapsedRequest{Start: uint32(start), End: uint32(end)})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := protocol.DecodeEventElapsedResponse(payload)
+	if err != nil {
+		return 0, err
+	}
+	if err := cudart.Error(resp.Err).AsError(); err != nil {
+		return 0, err
+	}
+	return time.Duration(resp.ElapsedNano), nil
+}

@@ -1,0 +1,215 @@
+package rcuda
+
+import (
+	"fmt"
+
+	"rcuda/internal/cudart"
+	"rcuda/internal/protocol"
+	"rcuda/internal/transport"
+)
+
+// Client is the client side of the middleware: a cudart.Runtime whose every
+// method is a remote procedure call to an rCUDA server. Applications built
+// against cudart.Runtime cannot tell it from a local GPU — the paper's
+// "illusion of being a real GPU".
+//
+// A Client is not safe for concurrent use by multiple goroutines: the
+// protocol is strictly synchronous request/response, matching the paper's
+// scope (asynchronous transfers are explicitly future work there).
+type Client struct {
+	conn     transport.Conn
+	capMajor uint32
+	capMinor uint32
+	closed   bool
+	// hooks for tracing; nil-safe.
+	observer Observer
+}
+
+var _ cudart.Runtime = (*Client)(nil)
+
+// Observer receives a notification for every remote call a client makes.
+// Package trace implements it to reproduce the paper's Figure 2.
+type Observer interface {
+	// Call reports one completed remote call with its Table I payload
+	// sizes.
+	Call(op protocol.Op, sentBytes, recvBytes int)
+}
+
+// ClientOption configures Open.
+type ClientOption func(*Client)
+
+// WithObserver attaches a call observer.
+func WithObserver(o Observer) ClientOption {
+	return func(c *Client) { c.observer = o }
+}
+
+// Open establishes a session: it connects the client side of the middleware
+// over an existing transport connection and performs the initialization
+// exchange, locating and sending the application's GPU module.
+func Open(conn transport.Conn, module []byte, opts ...ClientOption) (*Client, error) {
+	c := &Client{conn: conn}
+	for _, o := range opts {
+		o(c)
+	}
+	req := &protocol.InitRequest{Module: module}
+	if err := conn.Send(req); err != nil {
+		return nil, fmt.Errorf("rcuda: init send: %w", err)
+	}
+	payload, err := conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("rcuda: init recv: %w", err)
+	}
+	resp, err := protocol.DecodeInitResponse(payload)
+	if err != nil {
+		return nil, fmt.Errorf("rcuda: init decode: %w", err)
+	}
+	c.observe(protocol.OpInit, req.WireSize(), resp.WireSize())
+	if err := cudart.Error(resp.Err).AsError(); err != nil {
+		return nil, fmt.Errorf("rcuda: server rejected initialization: %w", err)
+	}
+	c.capMajor, c.capMinor = resp.CapabilityMajor, resp.CapabilityMinor
+	return c, nil
+}
+
+func (c *Client) observe(op protocol.Op, sent, recv int) {
+	if c.observer != nil {
+		c.observer.Call(op, sent, recv)
+	}
+}
+
+// roundTrip sends a request and returns the raw response payload.
+func (c *Client) roundTrip(req protocol.Request) ([]byte, error) {
+	if c.closed {
+		return nil, cudart.ErrorInitialization
+	}
+	if err := c.conn.Send(req); err != nil {
+		return nil, fmt.Errorf("rcuda: %v send: %w", req.Op(), err)
+	}
+	payload, err := c.conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("rcuda: %v recv: %w", req.Op(), err)
+	}
+	c.observe(req.Op(), req.WireSize(), len(payload))
+	return payload, nil
+}
+
+// Malloc implements cudart.Runtime.
+func (c *Client) Malloc(size uint32) (cudart.DevicePtr, error) {
+	payload, err := c.roundTrip(&protocol.MallocRequest{Size: size})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := protocol.DecodeMallocResponse(payload)
+	if err != nil {
+		return 0, err
+	}
+	if err := cudart.Error(resp.Err).AsError(); err != nil {
+		return 0, err
+	}
+	return cudart.DevicePtr(resp.DevPtr), nil
+}
+
+// Free implements cudart.Runtime.
+func (c *Client) Free(ptr cudart.DevicePtr) error {
+	payload, err := c.roundTrip(&protocol.FreeRequest{DevPtr: uint32(ptr)})
+	if err != nil {
+		return err
+	}
+	resp, err := protocol.DecodeFreeResponse(payload)
+	if err != nil {
+		return err
+	}
+	return cudart.Error(resp.Err).AsError()
+}
+
+// MemcpyToDevice implements cudart.Runtime.
+func (c *Client) MemcpyToDevice(dst cudart.DevicePtr, src []byte) error {
+	payload, err := c.roundTrip(&protocol.MemcpyToDeviceRequest{Dst: uint32(dst), Data: src})
+	if err != nil {
+		return err
+	}
+	resp, err := protocol.DecodeMemcpyToDeviceResponse(payload)
+	if err != nil {
+		return err
+	}
+	return cudart.Error(resp.Err).AsError()
+}
+
+// MemcpyToHost implements cudart.Runtime.
+func (c *Client) MemcpyToHost(dst []byte, src cudart.DevicePtr) error {
+	payload, err := c.roundTrip(&protocol.MemcpyToHostRequest{
+		Src:  uint32(src),
+		Size: uint32(len(dst)),
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := protocol.DecodeMemcpyToHostResponse(payload)
+	if err != nil {
+		return err
+	}
+	if err := cudart.Error(resp.Err).AsError(); err != nil {
+		return err
+	}
+	if len(resp.Data) != len(dst) {
+		return fmt.Errorf("rcuda: memcpy returned %d bytes, want %d", len(resp.Data), len(dst))
+	}
+	copy(dst, resp.Data)
+	return nil
+}
+
+// Launch implements cudart.Runtime.
+func (c *Client) Launch(name string, grid, block cudart.Dim3, shared uint32, params []byte) error {
+	payload, err := c.roundTrip(&protocol.LaunchRequest{
+		BlockDim:   [3]uint32{block.X, block.Y, block.Z},
+		GridDim:    [2]uint32{grid.X, grid.Y},
+		SharedSize: shared,
+		Name:       name,
+		Params:     params,
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := protocol.DecodeLaunchResponse(payload)
+	if err != nil {
+		return err
+	}
+	return cudart.Error(resp.Err).AsError()
+}
+
+// DeviceSynchronize implements cudart.Runtime.
+func (c *Client) DeviceSynchronize() error {
+	payload, err := c.roundTrip(&protocol.SyncRequest{})
+	if err != nil {
+		return err
+	}
+	resp, err := protocol.DecodeSyncResponse(payload)
+	if err != nil {
+		return err
+	}
+	return cudart.Error(resp.Err).AsError()
+}
+
+// Capability implements cudart.Runtime, returning the compute capability
+// received during initialization.
+func (c *Client) Capability() (major, minor uint32) { return c.capMajor, c.capMinor }
+
+// Close implements cudart.Runtime: it sends the finalization message (the
+// daemon quits servicing this execution and releases its resources) and
+// closes the transport.
+func (c *Client) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	req := &protocol.FinalizeRequest{}
+	sendErr := c.conn.Send(req)
+	if sendErr == nil {
+		c.observe(protocol.OpFinalize, req.WireSize(), 0)
+	}
+	closeErr := c.conn.Close()
+	if sendErr != nil {
+		return sendErr
+	}
+	return closeErr
+}

@@ -1,0 +1,100 @@
+package rcuda
+
+import (
+	"rcuda/internal/cudart"
+	"rcuda/internal/gpu"
+	"rcuda/internal/protocol"
+)
+
+// Client-side device management: the remote runtime exposes the server's
+// whole accelerator set, so one session can discover, select, and use any
+// of the GPUs a server node owns (Figure 1 of the paper).
+
+var _ cudart.DeviceRuntime = (*Client)(nil)
+
+// DeviceCount implements cudart.DeviceRuntime.
+func (c *Client) DeviceCount() (int, error) {
+	payload, err := c.roundTrip(&protocol.GetDeviceCountRequest{})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := protocol.DecodeGetDeviceCountResponse(payload)
+	if err != nil {
+		return 0, err
+	}
+	if err := cudart.Error(resp.Err).AsError(); err != nil {
+		return 0, err
+	}
+	return int(resp.Count), nil
+}
+
+// SetDevice implements cudart.DeviceRuntime: subsequent allocations,
+// copies, and launches target the selected server GPU on its own
+// pre-initialized context.
+func (c *Client) SetDevice(device int) error {
+	payload, err := c.roundTrip(&protocol.SetDeviceRequest{Device: uint32(device)})
+	if err != nil {
+		return err
+	}
+	resp, err := protocol.DecodeSyncResponse(payload)
+	if err != nil {
+		return err
+	}
+	return cudart.Error(resp.Err).AsError()
+}
+
+// DeviceProperties implements cudart.DeviceRuntime.
+func (c *Client) DeviceProperties() (gpu.Properties, error) {
+	payload, err := c.roundTrip(&protocol.GetDevicePropertiesRequest{})
+	if err != nil {
+		return gpu.Properties{}, err
+	}
+	resp, err := protocol.DecodeGetDevicePropertiesResponse(payload)
+	if err != nil {
+		return gpu.Properties{}, err
+	}
+	if err := cudart.Error(resp.Err).AsError(); err != nil {
+		return gpu.Properties{}, err
+	}
+	return gpu.Properties{
+		Name:            resp.Name,
+		MemoryBytes:     resp.MemoryBytes,
+		CapabilityMajor: resp.CapabilityMajor,
+		CapabilityMinor: resp.CapabilityMinor,
+		Multiprocessors: resp.Multiprocessors,
+		ClockMHz:        resp.ClockMHz,
+		MemoryMBps:      resp.MemoryMBps,
+	}, nil
+}
+
+// Memset implements cudart.DeviceRuntime.
+func (c *Client) Memset(ptr cudart.DevicePtr, value byte, size uint32) error {
+	payload, err := c.roundTrip(&protocol.MemsetRequest{
+		DevPtr: uint32(ptr), Value: uint32(value), Size: size,
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := protocol.DecodeSyncResponse(payload)
+	if err != nil {
+		return err
+	}
+	return cudart.Error(resp.Err).AsError()
+}
+
+// MemcpyDeviceToDevice implements cudart.DeviceRuntime: the copy stays on
+// the server GPU, so only 16 bytes plus a result code cross the network —
+// the payoff of keeping intermediate results in remote device memory.
+func (c *Client) MemcpyDeviceToDevice(dst, src cudart.DevicePtr, size uint32) error {
+	payload, err := c.roundTrip(&protocol.MemcpyD2DRequest{
+		Dst: uint32(dst), Src: uint32(src), Size: size,
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := protocol.DecodeSyncResponse(payload)
+	if err != nil {
+		return err
+	}
+	return cudart.Error(resp.Err).AsError()
+}

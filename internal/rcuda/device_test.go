@@ -1,0 +1,258 @@
+package rcuda
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"rcuda/internal/calib"
+	"rcuda/internal/cudart"
+	"rcuda/internal/gpu"
+	"rcuda/internal/netsim"
+	"rcuda/internal/transport"
+	"rcuda/internal/vclock"
+)
+
+// startMultiGPUSession serves a daemon owning n devices over a simulated
+// pipe and returns the opened client plus the devices.
+func startMultiGPUSession(t *testing.T, n int) (*Client, []*gpu.Device, func()) {
+	t.Helper()
+	clk := vclock.NewSim()
+	devs := make([]*gpu.Device, n)
+	for i := range devs {
+		devs[i] = gpu.New(gpu.Config{Clock: clk})
+	}
+	srv := NewServer(devs[0], WithDevices(devs[1:]...))
+	cliEnd, srvEnd := transport.Pipe(netsim.IB40G(), clk, nil)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := srv.ServeConn(srvEnd); err != nil {
+			t.Errorf("server: %v", err)
+		}
+	}()
+	client, err := Open(cliEnd, moduleImage(t, calib.MM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, devs, func() { _ = client.Close(); wg.Wait() }
+}
+
+func TestDeviceCountAndSelection(t *testing.T) {
+	client, devs, cleanup := startMultiGPUSession(t, 3)
+	defer cleanup()
+
+	n, err := client.DeviceCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("device count = %d, want 3", n)
+	}
+
+	// Allocate twice on device 0, switch to device 2, allocate once.
+	p0a, err := client.Malloc(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0b, err := client.Malloc(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SetDevice(2); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := client.Malloc(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if devs[0].MemoryInUse() == 0 || devs[2].MemoryInUse() == 0 {
+		t.Fatal("allocations must land on the selected devices")
+	}
+	if devs[1].MemoryInUse() != 0 {
+		t.Fatal("device 1 was never selected")
+	}
+	// Pointers belong to their device's context: p0b's address exists
+	// only on device 0, so freeing it while device 2 is current fails.
+	if err := client.Free(p0b); !errors.Is(err, cudart.ErrorInvalidDevicePointer) {
+		t.Fatalf("cross-device free = %v, want cudaErrorInvalidDevicePointer", err)
+	}
+	if err := client.Free(p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SetDevice(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []cudart.DevicePtr{p0a, p0b} {
+		if err := client.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if devs[0].MemoryInUse() != 0 || devs[2].MemoryInUse() != 0 {
+		t.Fatal("frees must return both devices to zero")
+	}
+}
+
+func TestSetDeviceOutOfRange(t *testing.T) {
+	client, _, cleanup := startMultiGPUSession(t, 2)
+	defer cleanup()
+	if err := client.SetDevice(2); !errors.Is(err, cudart.ErrorInvalidValue) {
+		t.Fatalf("SetDevice(2) = %v, want cudaErrorInvalidValue", err)
+	}
+	if err := client.SetDevice(-1); !errors.Is(err, cudart.ErrorInvalidValue) {
+		t.Fatalf("SetDevice(-1) = %v, want cudaErrorInvalidValue", err)
+	}
+}
+
+func TestDisconnectReleasesAllDevices(t *testing.T) {
+	client, devs, cleanup := startMultiGPUSession(t, 2)
+	if _, err := client.Malloc(64); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SetDevice(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Malloc(64); err != nil {
+		t.Fatal(err)
+	}
+	cleanup()
+	for i, d := range devs {
+		if d.MemoryInUse() != 0 {
+			t.Fatalf("device %d leaked %d bytes after session end", i, d.MemoryInUse())
+		}
+	}
+}
+
+func TestRemoteDeviceProperties(t *testing.T) {
+	client, devs, cleanup := startMultiGPUSession(t, 1)
+	defer cleanup()
+	p, err := client.DeviceProperties()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := devs[0].Properties()
+	if p != want {
+		t.Fatalf("remote properties %+v, want %+v", p, want)
+	}
+}
+
+func TestRemoteMemsetAndD2D(t *testing.T) {
+	client, _, cleanup := startMultiGPUSession(t, 1)
+	defer cleanup()
+
+	const n = 256
+	src, _ := client.Malloc(n)
+	dst, _ := client.Malloc(n)
+	if err := client.Memset(src, 0x5A, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.MemcpyDeviceToDevice(dst, src, n); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, n)
+	if err := client.MemcpyToHost(out, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, bytes.Repeat([]byte{0x5A}, n)) {
+		t.Fatal("remote memset + D2D produced wrong data")
+	}
+	// Error paths carry CUDA codes.
+	if err := client.Memset(0, 1, 4); !errors.Is(err, cudart.ErrorInvalidDevicePointer) {
+		t.Fatalf("remote null memset = %v", err)
+	}
+	if err := client.MemcpyDeviceToDevice(dst, src, n+1); !errors.Is(err, cudart.ErrorInvalidDevicePointer) {
+		t.Fatalf("remote overrun D2D = %v", err)
+	}
+}
+
+// A D2D copy moves only 16 bytes over the wire regardless of the payload —
+// the reason to keep intermediate results on the remote GPU.
+func TestD2DWireTraffic(t *testing.T) {
+	clk := vclock.NewSim()
+	dev := gpu.New(gpu.Config{Clock: clk})
+	srv := NewServer(dev)
+	cliEnd, srvEnd := transport.Pipe(netsim.GigaE(), clk, nil)
+	go func() { _ = srv.ServeConn(srvEnd) }()
+	client, err := Open(cliEnd, moduleImage(t, calib.MM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const n = 8 << 20
+	src, _ := client.Malloc(n)
+	dst, _ := client.Malloc(n)
+	before := cliEnd.Stats().BytesSent
+	if err := client.MemcpyDeviceToDevice(dst, src, n); err != nil {
+		t.Fatal(err)
+	}
+	sent := cliEnd.Stats().BytesSent - before
+	if sent != 16 {
+		t.Fatalf("D2D sent %d bytes over the wire, want 16", sent)
+	}
+}
+
+func TestSessionSpreadAcrossDevices(t *testing.T) {
+	clk := vclock.NewSim()
+	devs := []*gpu.Device{
+		gpu.New(gpu.Config{Clock: clk}),
+		gpu.New(gpu.Config{Clock: clk}),
+	}
+	srv := NewServer(devs[0], WithDevices(devs[1]), WithSessionSpread())
+
+	openSession := func() (*Client, func()) {
+		cliEnd, srvEnd := transport.Pipe(netsim.IB40G(), clk, nil)
+		done := make(chan error, 1)
+		go func() { done <- srv.ServeConn(srvEnd) }()
+		client, err := Open(cliEnd, moduleImage(t, calib.MM))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return client, func() { _ = client.Close(); <-done }
+	}
+
+	c1, close1 := openSession()
+	c2, close2 := openSession()
+	defer close1()
+	defer close2()
+	if _, err := c1.Malloc(64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Malloc(64); err != nil {
+		t.Fatal(err)
+	}
+	// With spreading, the two sessions' allocations land on different
+	// devices without either calling SetDevice.
+	if devs[0].MemoryInUse() == 0 || devs[1].MemoryInUse() == 0 {
+		t.Fatalf("sessions did not spread: dev0 %d B, dev1 %d B",
+			devs[0].MemoryInUse(), devs[1].MemoryInUse())
+	}
+}
+
+func TestDefaultPlacementIsDeviceZero(t *testing.T) {
+	clk := vclock.NewSim()
+	devs := []*gpu.Device{
+		gpu.New(gpu.Config{Clock: clk}),
+		gpu.New(gpu.Config{Clock: clk}),
+	}
+	srv := NewServer(devs[0], WithDevices(devs[1]))
+	for i := 0; i < 2; i++ {
+		cliEnd, srvEnd := transport.Pipe(netsim.IB40G(), clk, nil)
+		done := make(chan error, 1)
+		go func() { done <- srv.ServeConn(srvEnd) }()
+		client, err := Open(cliEnd, moduleImage(t, calib.MM))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.Malloc(64); err != nil {
+			t.Fatal(err)
+		}
+		_ = client.Close()
+		<-done
+	}
+	if devs[1].MemoryInUse() != 0 {
+		t.Fatal("without spreading, sessions must default to device 0 (CUDA semantics)")
+	}
+}

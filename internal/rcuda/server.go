@@ -1,0 +1,365 @@
+// Package rcuda implements the paper's middleware: a client library that
+// satisfies the cudart.Runtime interface by forwarding every CUDA call to a
+// remote server, and the GPU network service that executes those calls on
+// the device it owns.
+//
+// The architecture follows Section III: the client sends one message per
+// CUDA call and the server always answers with a 32-bit result code
+// (possibly followed by data); the server daemon listens on a TCP port and
+// time-multiplexes the GPU by serving each connection on its own CUDA
+// context, which it pre-initializes so clients never pay the CUDA
+// environment start-up delay.
+package rcuda
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"rcuda/internal/cudart"
+	"rcuda/internal/gpu"
+	"rcuda/internal/protocol"
+	"rcuda/internal/transport"
+)
+
+// Server is the rCUDA daemon: it owns one or more devices and serves GPU
+// requests. Figure 1 of the paper shows server nodes with several
+// accelerators; clients discover them with cudaGetDeviceCount and select
+// with cudaSetDevice.
+type Server struct {
+	devs     []*gpu.Device
+	logger   *log.Logger
+	spread   bool
+	counters serverCounters
+
+	mu       sync.Mutex
+	listener net.Listener
+	closed   bool
+	nextDev  int
+	sessions sync.WaitGroup
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithLogger directs server diagnostics to the given logger; by default
+// they are discarded, since per-request logging would distort timing.
+func WithLogger(l *log.Logger) ServerOption {
+	return func(s *Server) { s.logger = l }
+}
+
+// WithDevices attaches additional GPUs to the daemon beyond the primary one
+// passed to NewServer.
+func WithDevices(extra ...*gpu.Device) ServerOption {
+	return func(s *Server) { s.devs = append(s.devs, extra...) }
+}
+
+// WithSessionSpread makes new sessions start on the daemon's devices round
+// robin instead of all defaulting to device 0, spreading clients that never
+// call cudaSetDevice across a multi-GPU server.
+func WithSessionSpread() ServerOption {
+	return func(s *Server) { s.spread = true }
+}
+
+// initialDevice picks the device a new session starts on.
+func (s *Server) initialDevice() int {
+	if !s.spread || len(s.devs) == 1 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.nextDev % len(s.devs)
+	s.nextDev++
+	return d
+}
+
+// NewServer creates a daemon for the given device.
+func NewServer(dev *gpu.Device, opts ...ServerOption) *Server {
+	s := &Server{devs: []*gpu.Device{dev}}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// Serve accepts connections from ln until Close is called, spawning one
+// session per connection — the paper's "spawning a different server process
+// for each remote execution over a new GPU context".
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("rcuda: server closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("rcuda: accept: %w", err)
+		}
+		s.sessions.Add(1)
+		go func() {
+			defer s.sessions.Done()
+			conn := transport.NewTCPConn(c)
+			if err := s.ServeConn(conn); err != nil {
+				s.logf("rcuda: session from %s: %v", c.RemoteAddr(), err)
+			}
+			_ = conn.Close()
+		}()
+	}
+}
+
+// Close stops accepting connections and waits for in-flight sessions.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.sessions.Wait()
+	return err
+}
+
+// session is the per-connection state: one lazily created, pre-initialized
+// context per device the client has selected, plus the client's module so
+// contexts on later-selected devices can load it.
+type session struct {
+	srv    *Server
+	module *gpu.Module
+	ctxs   map[int]*gpu.Context
+	cur    int
+}
+
+// context returns the context of the currently selected device.
+func (ss *session) context() *gpu.Context { return ss.ctxs[ss.cur] }
+
+// setDevice switches the session's current device, creating its context on
+// first use.
+func (ss *session) setDevice(d int) error {
+	if d < 0 || d >= len(ss.srv.devs) {
+		return cudart.ErrorInvalidValue
+	}
+	if _, ok := ss.ctxs[d]; !ok {
+		ctx := ss.srv.devs[d].NewContextPreinitialized()
+		if err := ctx.LoadModule(ss.module); err != nil {
+			_ = ctx.Destroy()
+			return err
+		}
+		ss.ctxs[d] = ctx
+	}
+	ss.cur = d
+	return nil
+}
+
+// destroy releases every context the session created.
+func (ss *session) destroy() {
+	for _, ctx := range ss.ctxs {
+		_ = ctx.Destroy()
+	}
+}
+
+// ServeConn serves one client session on any transport (a real socket or a
+// simulated pipe). It performs the initialization handshake, enters the
+// request loop, and releases the session's contexts when the client
+// finalizes or disconnects.
+func (s *Server) ServeConn(conn transport.Conn) error {
+	s.counters.sessionsStarted.Add(1)
+	s.counters.sessionsActive.Add(1)
+	defer s.counters.sessionsActive.Add(-1)
+	defer func() {
+		st := conn.Stats()
+		// The conn's "sent" is the server's outbound traffic.
+		s.counters.bytesSent.Add(st.BytesSent)
+		s.counters.bytesReceived.Add(st.BytesRecv)
+	}()
+
+	sess, err := s.handshake(conn)
+	if err != nil {
+		return err
+	}
+	defer sess.destroy()
+
+	for {
+		payload, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, transport.ErrClosed) {
+				return nil // client went away; resources released by defer
+			}
+			return fmt.Errorf("rcuda: recv: %w", err)
+		}
+		req, err := protocol.DecodeRequest(payload)
+		if err != nil {
+			return fmt.Errorf("rcuda: malformed request: %w", err)
+		}
+		s.counters.requests.Add(1)
+		done, err := s.dispatch(conn, sess, req)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// handshake consumes the initialization message: it resolves the client's
+// GPU module and loads it into a fresh, pre-initialized context on the
+// primary device. The daemon pre-initializes the CUDA environment, so the
+// client does not pay that delay.
+func (s *Server) handshake(conn transport.Conn) (*session, error) {
+	payload, err := conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("rcuda: handshake recv: %w", err)
+	}
+	initReq, err := protocol.DecodeInitRequest(payload)
+	if err != nil {
+		return nil, fmt.Errorf("rcuda: malformed init: %w", err)
+	}
+	initial := s.initialDevice()
+	maj, min := s.devs[initial].Capability()
+	mod, err := gpu.ResolveModule(initReq.Module)
+	if err == nil {
+		ctx := s.devs[initial].NewContextPreinitialized()
+		if loadErr := ctx.LoadModule(mod); loadErr != nil {
+			_ = ctx.Destroy()
+			err = loadErr
+		} else {
+			if sendErr := conn.Send(&protocol.InitResponse{CapabilityMajor: maj, CapabilityMinor: min}); sendErr != nil {
+				_ = ctx.Destroy()
+				return nil, sendErr
+			}
+			return &session{srv: s, module: mod, ctxs: map[int]*gpu.Context{initial: ctx}, cur: initial}, nil
+		}
+	}
+	sendErr := conn.Send(&protocol.InitResponse{
+		CapabilityMajor: maj,
+		CapabilityMinor: min,
+		Err:             uint32(cudart.ErrorInitialization),
+	})
+	if sendErr != nil {
+		return nil, sendErr
+	}
+	return nil, fmt.Errorf("rcuda: module load: %w", err)
+}
+
+// dispatch executes one request and sends its response. It reports
+// done=true on finalization.
+func (s *Server) dispatch(conn transport.Conn, sess *session, req protocol.Request) (done bool, err error) {
+	ctx := sess.context()
+	switch r := req.(type) {
+	case *protocol.MallocRequest:
+		ptr, opErr := ctx.Malloc(r.Size)
+		return false, conn.Send(&protocol.MallocResponse{
+			Err:    code(opErr),
+			DevPtr: ptr,
+		})
+	case *protocol.MemcpyToDeviceRequest:
+		opErr := ctx.CopyToDevice(r.Dst, r.Data)
+		return false, conn.Send(&protocol.MemcpyToDeviceResponse{Err: code(opErr)})
+	case *protocol.MemcpyToHostRequest:
+		data, opErr := ctx.CopyToHost(r.Src, r.Size)
+		return false, conn.Send(&protocol.MemcpyToHostResponse{Data: data, Err: code(opErr)})
+	case *protocol.LaunchRequest:
+		grid := gpu.Dim3{X: r.GridDim[0], Y: r.GridDim[1], Z: 1}
+		block := gpu.Dim3{X: r.BlockDim[0], Y: r.BlockDim[1], Z: r.BlockDim[2]}
+		opErr := ctx.LaunchAsync(r.Name, grid, block, r.SharedSize, r.Params, r.Stream)
+		return false, conn.Send(&protocol.LaunchResponse{Err: code(opErr)})
+	case *protocol.FreeRequest:
+		opErr := ctx.Free(r.DevPtr)
+		return false, conn.Send(&protocol.FreeResponse{Err: code(opErr)})
+	case *protocol.SyncRequest:
+		return false, conn.Send(&protocol.SyncResponse{Err: code(ctx.Synchronize())})
+	case *protocol.FinalizeRequest:
+		return true, nil
+	default:
+		if handled, err := s.dispatchAsync(conn, ctx, req); handled {
+			return false, err
+		}
+		if handled, err := s.dispatchDevice(conn, sess, req); handled {
+			return false, err
+		}
+		return false, fmt.Errorf("rcuda: unhandled request %T", req)
+	}
+}
+
+// dispatchDevice handles device management and device-side memory requests.
+func (s *Server) dispatchDevice(conn transport.Conn, sess *session, req protocol.Request) (handled bool, err error) {
+	switch r := req.(type) {
+	case *protocol.GetDeviceCountRequest:
+		return true, conn.Send(&protocol.GetDeviceCountResponse{Count: uint32(len(s.devs))})
+	case *protocol.SetDeviceRequest:
+		return true, conn.Send(&protocol.SyncResponse{Err: code(sess.setDevice(int(r.Device)))})
+	case *protocol.GetDevicePropertiesRequest:
+		p := s.devs[sess.cur].Properties()
+		return true, conn.Send(&protocol.GetDevicePropertiesResponse{
+			MemoryBytes:     p.MemoryBytes,
+			CapabilityMajor: p.CapabilityMajor,
+			CapabilityMinor: p.CapabilityMinor,
+			Multiprocessors: p.Multiprocessors,
+			ClockMHz:        p.ClockMHz,
+			MemoryMBps:      p.MemoryMBps,
+			Name:            p.Name,
+		})
+	case *protocol.MemsetRequest:
+		opErr := sess.context().Memset(r.DevPtr, byte(r.Value), r.Size)
+		return true, conn.Send(&protocol.SyncResponse{Err: code(opErr)})
+	case *protocol.MemcpyD2DRequest:
+		opErr := sess.context().CopyDeviceToDevice(r.Dst, r.Src, r.Size)
+		return true, conn.Send(&protocol.SyncResponse{Err: code(opErr)})
+	default:
+		return false, nil
+	}
+}
+
+// code maps a device-layer error to its wire result code. The translation
+// to cudaError_t reuses the cudart mapping so local and remote executions
+// surface identical codes.
+func code(err error) uint32 {
+	return uint32(cudart.Code(mapToCudaError(err)))
+}
+
+func mapToCudaError(err error) error {
+	var ce cudart.Error
+	switch {
+	case err == nil:
+		return nil
+	case errors.As(err, &ce):
+		return ce
+	case errors.Is(err, gpu.ErrOutOfMemory):
+		return cudart.ErrorMemoryAllocation
+	case errors.Is(err, gpu.ErrZeroSize):
+		return cudart.ErrorInvalidValue
+	case errors.Is(err, gpu.ErrInvalidDevPtr):
+		return cudart.ErrorInvalidDevicePointer
+	case errors.Is(err, gpu.ErrUnknownKernel):
+		return cudart.ErrorLaunchFailure
+	case errors.Is(err, gpu.ErrInvalidLaunch):
+		return cudart.ErrorInvalidConfiguration
+	case errors.Is(err, gpu.ErrInvalidStream), errors.Is(err, gpu.ErrInvalidEvent):
+		return cudart.ErrorInvalidValue
+	case errors.Is(err, gpu.ErrContextDestroyed), errors.Is(err, gpu.ErrUnknownModule):
+		return cudart.ErrorInitialization
+	default:
+		return cudart.ErrorUnknown
+	}
+}

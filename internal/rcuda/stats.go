@@ -1,0 +1,39 @@
+package rcuda
+
+import "sync/atomic"
+
+// ServerStats are cumulative daemon counters, suitable for an operator
+// dashboard or load-balancing decisions across GPU servers.
+type ServerStats struct {
+	// SessionsStarted counts accepted client sessions, including ones
+	// that failed the handshake.
+	SessionsStarted int64
+	// SessionsActive counts sessions currently being served.
+	SessionsActive int64
+	// Requests counts post-handshake requests across all sessions.
+	Requests int64
+	// BytesReceived and BytesSent count Table I payload bytes across all
+	// sessions, including the handshake.
+	BytesReceived int64
+	BytesSent     int64
+}
+
+// serverCounters backs Server.Stats with atomics.
+type serverCounters struct {
+	sessionsStarted atomic.Int64
+	sessionsActive  atomic.Int64
+	requests        atomic.Int64
+	bytesReceived   atomic.Int64
+	bytesSent       atomic.Int64
+}
+
+// Stats returns a snapshot of the daemon's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		SessionsStarted: s.counters.sessionsStarted.Load(),
+		SessionsActive:  s.counters.sessionsActive.Load(),
+		Requests:        s.counters.requests.Load(),
+		BytesReceived:   s.counters.bytesReceived.Load(),
+		BytesSent:       s.counters.bytesSent.Load(),
+	}
+}

@@ -1,0 +1,359 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"rcuda/internal/calib"
+	"rcuda/internal/contention"
+	"rcuda/internal/netsim"
+	"rcuda/internal/perfmodel"
+	"rcuda/internal/workload"
+)
+
+// Experiments generates the EXPERIMENTS.md document: for every table and
+// figure of the paper, the reproduction's numbers next to the published
+// ones, with relative deltas. The document is fully regenerated from the
+// simulation campaign, so it reflects whatever the code currently does.
+func (c Config) Experiments() (string, error) {
+	var sb strings.Builder
+	sb.WriteString(`# EXPERIMENTS — paper vs. reproduction
+
+Regenerate with ` + "`go run ./cmd/rcuda-repro -experiments`" + fmt.Sprintf(
+		" (seed %d, %d repetitions, %.1f%% noise).\n\n", c.Seed, c.reps(), c.Sigma*100))
+	sb.WriteString(`Absolute numbers come from a calibrated simulator (see DESIGN.md §2), so
+"measured" columns track the paper by construction; the *reproduced results*
+are the derived quantities — fixed times, cross-validation error rates, and
+target-network projections — which the estimation-model code recomputes from
+the simulated measurements exactly as the paper's method prescribes.
+
+`)
+
+	c.expTableI(&sb)
+	if err := c.expFigures34(&sb); err != nil {
+		return "", err
+	}
+	c.expTableII(&sb)
+	c.expTablesIIIandV(&sb)
+	data, err := c.TableVIData()
+	if err != nil {
+		return "", err
+	}
+	if err := c.expTableIV(&sb); err != nil {
+		return "", err
+	}
+	c.expTableVI(&sb, data)
+	c.expFigures56(&sb, data)
+	if err := c.expExtensions(&sb); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+func (c Config) expExtensions(sb *strings.Builder) error {
+	sb.WriteString("## Extensions beyond the paper\n\n")
+	// Pipelined FFT (Figure 7): report the overlap gain on the fastest
+	// and slowest networks at one representative batch.
+	gain := func(netName string) (float64, error) {
+		link, err := netsim.ByName(netName)
+		if err != nil {
+			return 0, err
+		}
+		sync, err := workload.Run(calib.FFT, 8192, workload.Remote, workload.Options{Link: link})
+		if err != nil {
+			return 0, err
+		}
+		piped, err := workload.RunPipelined(8192, 8, workload.Options{Link: link})
+		if err != nil {
+			return 0, err
+		}
+		return (1 - float64(piped.Total)/float64(sync.Total)) * 100, nil
+	}
+	fast, err := gain("40GI")
+	if err != nil {
+		return err
+	}
+	slow, err := gain("GigaE")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sb, `- **Asynchronous pipelining (Figure 7, `+"`-figure 7`"+`)**: splitting the
+  FFT batch into 8 double-buffered chunks hides %.1f%% of the remote
+  execution time on 40GI, where the device engines are the bottleneck. On
+  GigaE the same pipelining *loses* %.1f%%: each mid-size chunk pays the
+  TCP-window excess that one large transfer amortizes, so chunked
+  asynchronous transfers only pay off once the interconnect is fast and
+  clean — a concrete answer to the paper's deferred future work.
+- **Cluster sizing (examples/clusterplan, BenchmarkClusterSweep)**: list
+  scheduling of synthetic job traces over the calibrated profiles answers
+  "how many GPUs does the cluster need"; at the light utilization the
+  paper's premise assumes, 1-2 shared GPUs per 8-16 nodes match the fully
+  equipped cluster's makespan within 10%%.
+`, fast, -slow)
+
+	// Contention (Figure 9): quantify the per-client slowdown of sharing.
+	shared, err := contention.Run(contention.Params{
+		CS: calib.MM, Size: 8192, Clients: 4, Link: netsim.IB40G(),
+	})
+	if err != nil {
+		return err
+	}
+	lone, err := contention.Run(contention.Params{
+		CS: calib.MM, Size: 8192, Clients: 1, Link: netsim.IB40G(),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sb, `- **Multi-client contention (Figure 9, `+"`-figure 9`"+`)**: an event-level
+  simulation (internal/des) of clients sharing one GPU server's link and
+  device. Four MM clients on 40GI run %.1fx slower each than a lone client
+  (GPU-bound, %.0f%% device utilization); on GigaE the wire saturates first
+  for the FFT — the paper's last future-work item, quantified.
+
+`, shared.PerClient[3].Seconds()/lone.PerClient[0].Seconds(), shared.GPUUtilization*100)
+	return nil
+}
+
+func (c Config) expTableI(sb *strings.Builder) {
+	sb.WriteString("## Table I — remote API message breakdown\n\n")
+	sb.WriteString(`Derived from the protocol encoders; all fixed sizes match the paper
+(Initialization x+4/12, cudaMalloc 8/8, cudaMemcpy x+20/4 and 20/x+4,
+cudaLaunch x+44/4, cudaFree 8/4; asserted byte-for-byte in
+internal/protocol tests). One engineering deviation: our launch message's
+variable region carries the packed kernel parameters after the
+NUL-terminated kernel name (the "Parameters offset" field locates them),
+so the MM launch is 68 bytes instead of the paper's 52. Both sizes sit on
+the flat region of the small-message latency curve, so transfer-time
+estimates are unaffected.
+
+`)
+}
+
+func (c Config) expFigures34(sb *strings.Builder) error {
+	sb.WriteString("## Figures 3 and 4 — network characterization\n\n")
+	sb.WriteString("| network | quantity | paper | reproduced |\n|---|---|---|---|\n")
+	for _, link := range netsim.Testbed() {
+		pp := &netsim.PingPong{Link: link, Noise: c.noise(21)}
+		pts := pp.MeasureLarge(largeSizes, 100)
+		fit, err := netsim.FitLarge(pts)
+		if err != nil {
+			return err
+		}
+		reg, _ := link.Regression()
+		fmt.Fprintf(sb, "| %s | large-payload fit (ms/MB) | %.1f·n %+.1f | %.2f·n %+.2f |\n",
+			link.Name(), reg.Slope, reg.Intercept, fit.Slope, fit.Intercept)
+		fmt.Fprintf(sb, "| %s | effective bandwidth (MB/s) | %.1f | %.1f |\n",
+			link.Name(), link.Bandwidth(), netsim.EffectiveBandwidth(fit))
+		fmt.Fprintf(sb, "| %s | correlation r | 1.0 | %.4f |\n", link.Name(), fit.R)
+	}
+	tcp := netsim.GigaETCPModel()
+	moduleOneWay, err := tcp.OneWay(21490)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sb, `
+Small-message latencies interpolate the paper's own anchor points
+(22.2–338.7 µs GigaE, 20.0–80.9 µs 40GI), exact at every anchor. The
+reproduced GigaE intercept absorbs the modeled TCP-window excess (~16–23 ms
+on 1–64 MB payloads), which the paper's minimum-of-100 fit filtered out;
+the slope — and hence the bandwidth every estimate uses — matches.
+
+A mechanistic TCP slow-start model (netsim.TCPMicroModel: 22.2 µs base
+latency, 1460-byte MSS, initial window 1, doubling per flight)
+independently *predicts* the paper's 21,490-byte module-transfer anchor at
+%.1f µs against the measured 338.7 µs — 15 segments in 4 flights, 3 RTT
+stalls — explaining the "non-linear time response" the paper attributes to
+the TCP window.
+
+`, moduleOneWay.Seconds()*1e6)
+	return nil
+}
+
+func (c Config) expTableII(sb *strings.Builder) {
+	sb.WriteString("## Table II — per-call transfer estimates\n\n")
+	type check struct {
+		what        string
+		paper, ours float64 // µs
+	}
+	ge, ib := netsim.GigaE(), netsim.IB40G()
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	mm := perfmodel.TableII(calib.MM, 4096, ge)
+	mmIB := perfmodel.TableII(calib.MM, 4096, ib)
+	fft := perfmodel.TableII(calib.FFT, 2048, ge)
+	checks := []check{
+		{"MM init send, GigaE", 338.7, us(mm[0].SendTime)},
+		{"MM init recv, GigaE", 44.4, us(mm[0].RecvTime)},
+		{"MM cudaMalloc send, GigaE", 22.2, us(mm[1].SendTime)},
+		{"MM init send, 40GI", 80.9, us(mmIB[0].SendTime)},
+		{"MM cudaMalloc send, 40GI", 27.9, us(mmIB[1].SendTime)},
+		{"FFT init send, GigaE", 233.9, us(fft[0].SendTime)},
+		{"MM memcpy(to device) @4096, GigaE (ms)", 569.4 * 1e3, us(mm[2].SendTime)},
+	}
+	sb.WriteString("| call | paper (µs) | reproduced (µs) |\n|---|---|---|\n")
+	for _, ch := range checks {
+		fmt.Fprintf(sb, "| %s | %.1f | %.1f |\n", ch.what, ch.paper, ch.ours)
+	}
+	sb.WriteString("\n")
+}
+
+func (c Config) expTablesIIIandV(sb *strings.Builder) {
+	sb.WriteString("## Tables III and V — per-copy transfer times\n\n")
+	var maxRel float64
+	var cells int
+	paperIII := map[string]map[int][2]float64{ // net -> size -> {MM ms, unused}
+		"GigaE": {4096: {569.4}, 6144: {1281.1}, 8192: {2277.6}, 10240: {3558.7},
+			12288: {5124.6}, 14336: {6975.1}, 16384: {9110.3}, 18432: {11530.2}},
+		"40GI": {4096: {46.8}, 6144: {105.3}, 8192: {187.3}, 10240: {292.6},
+			12288: {421.3}, 14336: {573.5}, 16384: {749.0}, 18432: {948.0}},
+		"10GE": {4096: {72.7}, 18432: {1472.7}},
+		"10GI": {4096: {66.0}, 18432: {1336.1}},
+		"Myr":  {4096: {85.3}, 18432: {1728.0}},
+		"F-HT": {4096: {44.4}, 18432: {898.8}},
+		"A-HT": {4096: {22.2}, 18432: {449.4}},
+	}
+	for netName, sizes := range paperIII {
+		link, err := netsim.ByName(netName)
+		if err != nil {
+			continue
+		}
+		for size, want := range sizes {
+			got := perfmodel.TransferTime(link, calib.MM, size).Seconds() * 1e3
+			rel := math.Abs(got-want[0]) / want[0]
+			if rel > maxRel {
+				maxRel = rel
+			}
+			cells++
+		}
+	}
+	fmt.Fprintf(sb, "Bandwidth-only arithmetic; across %d spot-checked MM cells the maximum\nrelative deviation from the printed values is %.2f%% (rounding in the paper).\n\n",
+		cells, maxRel*100)
+}
+
+func (c Config) expTableIV(sb *strings.Builder) error {
+	sb.WriteString("## Table IV — cross-validation of the estimation models\n\n")
+	ge, ib := netsim.GigaE(), netsim.IB40G()
+	for _, cs := range []calib.CaseStudy{calib.MM, calib.FFT} {
+		geMeas, err := c.measureSeries(cs, ge, 1)
+		if err != nil {
+			return err
+		}
+		ibMeas, err := c.measureSeries(cs, ib, 2)
+		if err != nil {
+			return err
+		}
+		fwd, err := perfmodel.CrossValidate(cs, ge, ib, geMeas, ibMeas)
+		if err != nil {
+			return err
+		}
+		rev, err := perfmodel.CrossValidate(cs, ib, ge, ibMeas, geMeas)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sb, "### %s (times in %s)\n\n", cs, unitName(cs))
+		sb.WriteString("| size | err% GigaE model (paper) | err% GigaE model (ours) | err% 40GI model (paper) | err% 40GI model (ours) |\n|---|---|---|---|---|\n")
+		for i, row := range fwd {
+			pf, _ := calib.PaperCrossError(cs, "GigaE", row.Size)
+			pr, _ := calib.PaperCrossError(cs, "40GI", row.Size)
+			fmt.Fprintf(sb, "| %d | %.2f | %.2f | %.2f | %.2f |\n",
+				row.Size, pf, row.RelativeErrorPc, pr, rev[i].RelativeErrorPc)
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString(`Shape reproduced: MM errors stay within a few percent (paper: |err| ≤ 2.2%),
+while FFT errors are large at small batches and shrink with transfer size
+(paper: 33.95% → 5.77% on the GigaE model, −16.0% → −2.25% on the 40GI
+model) — the signature of the GigaE TCP-window excess on 16–128 MB
+transfers that the linear model folds into its fixed time.
+
+`)
+	return nil
+}
+
+func (c Config) expTableVI(sb *strings.Builder, data map[calib.CaseStudy]TableVIResult) {
+	sb.WriteString("## Table VI — projections onto the HPC networks\n\n")
+	for _, cs := range []calib.CaseStudy{calib.MM, calib.FFT} {
+		d := data[cs]
+		var worst, sum float64
+		var n int
+		for _, netName := range calib.TargetNetworks() {
+			for _, size := range calib.Sizes(cs) {
+				for _, m := range []struct {
+					model string
+					got   time.Duration
+				}{
+					{"GigaE", d.EstGigaEModel[netName][size]},
+					{"40GI", d.Est40GIModel[netName][size]},
+				} {
+					want, ok := calib.PaperTargetEstimate(cs, m.model, netName, size)
+					if !ok {
+						continue
+					}
+					rel := math.Abs(m.got.Seconds()-want.Seconds()) / want.Seconds()
+					sum += rel
+					n++
+					if rel > worst {
+						worst = rel
+					}
+				}
+			}
+		}
+		fmt.Fprintf(sb, "- **%s**: %d estimated cells (5 networks × %d sizes × 2 models); mean |Δ| vs. paper %.2f%%, worst %.2f%%.\n",
+			cs, n, len(calib.Sizes(cs)), sum/float64(n)*100, worst*100)
+	}
+	sb.WriteString("\n")
+}
+
+func (c Config) expFigures56(sb *strings.Builder, data map[calib.CaseStudy]TableVIResult) {
+	sb.WriteString("## Figures 5 and 6 — qualitative shape\n\n")
+	mm, fft := data[calib.MM], data[calib.FFT]
+	checks := []struct {
+		name string
+		ok   bool
+	}{
+		{"MM: local GPU beats CPU for m ≥ 6144", mm.GPU[6144] < mm.CPU[6144] && mm.GPU[18432] < mm.CPU[18432]},
+		{"MM: every HPC-network estimate beats CPU at m = 18432",
+			allBeat(mm.EstGigaEModel, mm.CPU, 18432) && allBeat(mm.Est40GIModel, mm.CPU, 18432)},
+		{"MM: GigaE remoting roughly doubles the 40GI time at m = 4096",
+			ratioIn(mm.MeasuredGigaE[4096], mm.Measured40GI[4096], 1.5, 2.3)},
+		{"MM: remote 40GI beats the local GPU at m = 4096 (pre-initialized context)",
+			mm.Measured40GI[4096] < mm.GPU[4096]},
+		{"FFT: CPU beats the local GPU at every batch", fft.CPU[2048] < fft.GPU[2048] && fft.CPU[16384] < fft.GPU[16384]},
+		{"FFT: CPU beats every remote estimate", allLose(fft.Est40GIModel, fft.CPU, 2048) && allLose(fft.EstGigaEModel, fft.CPU, 16384)},
+		{"FFT: GigaE remoting is the slowest configuration",
+			fft.MeasuredGigaE[8192] > fft.Measured40GI[8192] && fft.MeasuredGigaE[8192] > fft.EstGigaEModel["Myr"][8192]},
+	}
+	sb.WriteString("| claim | holds |\n|---|---|\n")
+	for _, ch := range checks {
+		fmt.Fprintf(sb, "| %s | %v |\n", ch.name, ch.ok)
+	}
+	fmt.Fprintf(sb, "\nFull series: `go run ./cmd/rcuda-repro -figure 5` and `-figure 6`.\n")
+	_ = workload.PaperRepetitions
+}
+
+func allBeat(est map[string]map[int]time.Duration, base map[int]time.Duration, size int) bool {
+	for _, series := range est {
+		if series[size] >= base[size] {
+			return false
+		}
+	}
+	return true
+}
+
+func allLose(est map[string]map[int]time.Duration, base map[int]time.Duration, size int) bool {
+	for _, series := range est {
+		if series[size] <= base[size] {
+			return false
+		}
+	}
+	return true
+}
+
+func ratioIn(a, b time.Duration, lo, hi float64) bool {
+	if b == 0 {
+		return false
+	}
+	r := a.Seconds() / b.Seconds()
+	return r >= lo && r <= hi
+}

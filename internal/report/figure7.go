@@ -1,0 +1,57 @@
+package report
+
+import (
+	"fmt"
+	"time"
+
+	"rcuda/internal/calib"
+	"rcuda/internal/netsim"
+	"rcuda/internal/workload"
+)
+
+// Figure7 is an extension beyond the paper: the FFT case study with the
+// batch split into chunks and double-buffered on two device streams
+// (asynchronous transfers are the paper's declared future work). The
+// figure reports, per network and batch size, the synchronous execution
+// time, the pipelined time, and the relative gain — quantifying how much
+// of the remoting overhead server-side overlap can hide on each
+// interconnect.
+func (c Config) Figure7(chunks int) (string, error) {
+	if chunks < 2 {
+		chunks = 8
+	}
+	var out string
+	out += fmt.Sprintf("Figure 7 (extension) — Pipelined remote FFT, %d chunks, 2 streams (times in ms)\n", chunks)
+	header := []string{"batch"}
+	for _, l := range netsim.All() {
+		header = append(header, l.Name()+" sync", l.Name()+" piped", "gain %")
+	}
+	var rows [][]string
+	for _, size := range calib.Sizes(calib.FFT) {
+		if size%chunks != 0 {
+			continue
+		}
+		row := []string{fmt.Sprint(size)}
+		for _, link := range netsim.All() {
+			sync, err := workload.Run(calib.FFT, size, workload.Remote,
+				workload.Options{Link: link, Noise: c.noise(31)})
+			if err != nil {
+				return "", err
+			}
+			piped, err := workload.RunPipelined(size, chunks,
+				workload.Options{Link: link, Noise: c.noise(32)})
+			if err != nil {
+				return "", err
+			}
+			gain := (1 - float64(piped.Total)/float64(sync.Total)) * 100
+			row = append(row,
+				fmtMS(sync.Total), fmtMS(piped.Total), fmt.Sprintf("%.1f", gain))
+		}
+		rows = append(rows, row)
+	}
+	return out + csvLines(header, rows), nil
+}
+
+func fmtMS(d time.Duration) string {
+	return fmt.Sprintf("%.2f", d.Seconds()*1e3)
+}

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"fmt"
+
+	"rcuda/internal/calib"
+	"rcuda/internal/netsim"
+	"rcuda/internal/perfmodel"
+)
+
+// Figure8 is a second extension figure: a continuous bandwidth sensitivity
+// sweep. For one problem size per case study it plots the estimated remote
+// execution time against interconnect bandwidth (geometrically sampled),
+// together with the local CPU baseline and the exact bandwidth floor where
+// remoting starts to pay — generalizing Figures 5 and 6 from five discrete
+// networks to the whole bandwidth axis.
+func (c Config) Figure8(mmSize, fftBatch int, points int) (string, error) {
+	if points < 2 {
+		points = 24
+	}
+	ge := netsim.GigaE()
+	var out string
+	out += "Figure 8 (extension) — Remote execution time vs interconnect bandwidth\n"
+	for _, sel := range []struct {
+		cs   calib.CaseStudy
+		size int
+	}{{calib.MM, mmSize}, {calib.FFT, fftBatch}} {
+		meas, err := c.measureSeries(sel.cs, ge, 41)
+		if err != nil {
+			return "", err
+		}
+		model, err := perfmodel.Build(sel.cs, ge, meas)
+		if err != nil {
+			return "", err
+		}
+		pts, err := perfmodel.BandwidthSweep(model, sel.size, 50, 8000, points)
+		if err != nil {
+			return "", err
+		}
+		out += fmt.Sprintf("\n%s size %d (times in %s):\nbandwidth_MBps,remote,cpu\n",
+			sel.cs, sel.size, unitName(sel.cs))
+		var rows [][]string
+		for _, p := range pts {
+			rows = append(rows, []string{
+				fmt.Sprintf("%.0f", p.BandwidthMBps),
+				fmtPaperUnit(sel.cs, p.Remote),
+				fmtPaperUnit(sel.cs, p.CPU),
+			})
+		}
+		out += csvLines(nil, rows)
+		if bw, ok := perfmodel.MinimumBandwidth(model, sel.size); ok {
+			out += fmt.Sprintf("bandwidth floor: %.0f MB/s\n", bw)
+		} else {
+			out += "bandwidth floor: none — not worth remoting at any speed\n"
+		}
+	}
+	return out, nil
+}

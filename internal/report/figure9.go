@@ -1,0 +1,55 @@
+package report
+
+import (
+	"fmt"
+
+	"rcuda/internal/calib"
+	"rcuda/internal/contention"
+	"rcuda/internal/netsim"
+)
+
+// Figure9 is the third extension figure: the multi-client contention study
+// (the paper's final future-work item). For each testbed network it sweeps
+// the number of concurrent clients sharing one GPU server and reports the
+// mean per-client slowdown relative to a lone client, plus the shared
+// link's and the GPU's busy fractions — exposing which resource saturates
+// first on each interconnect.
+func (c Config) Figure9(maxClients int) (string, error) {
+	if maxClients < 2 {
+		maxClients = 8
+	}
+	var out string
+	out += fmt.Sprintf("Figure 9 (extension) — Per-client slowdown sharing one GPU server (1-%d clients)\n", maxClients)
+	for _, sel := range []struct {
+		cs   calib.CaseStudy
+		size int
+	}{{calib.MM, 8192}, {calib.FFT, 8192}} {
+		for _, netName := range []string{"GigaE", "40GI"} {
+			link, err := netsim.ByName(netName)
+			if err != nil {
+				return "", err
+			}
+			results, err := contention.Sweep(contention.Params{
+				CS: sel.cs, Size: sel.size, Link: link,
+			}, maxClients)
+			if err != nil {
+				return "", err
+			}
+			slow := contention.Slowdown(results)
+			out += fmt.Sprintf("\n%s size %d over %s:\nclients,mean_slowdown,p95_turnaround_ms,link_util,gpu_util\n",
+				sel.cs, sel.size, netName)
+			var rows [][]string
+			for i, r := range results {
+				rows = append(rows, []string{
+					fmt.Sprint(i + 1),
+					fmt.Sprintf("%.2f", slow[i]),
+					fmt.Sprintf("%.1f", contention.P95Turnaround(r).Seconds()*1e3),
+					fmt.Sprintf("%.2f", r.LinkUtilization),
+					fmt.Sprintf("%.2f", r.GPUUtilization),
+				})
+			}
+			out += csvLines(nil, rows)
+		}
+	}
+	return out, nil
+}

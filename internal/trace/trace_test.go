@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rcuda/internal/protocol"
+	"rcuda/internal/vclock"
+)
+
+func TestPhaseMapping(t *testing.T) {
+	cases := map[protocol.Op]Phase{
+		protocol.OpInit:              PhaseInit,
+		protocol.OpMalloc:            PhaseAlloc,
+		protocol.OpMemcpyToDevice:    PhaseInput,
+		protocol.OpLaunch:            PhaseKernel,
+		protocol.OpDeviceSynchronize: PhaseKernel,
+		protocol.OpMemcpyToHost:      PhaseOutput,
+		protocol.OpFree:              PhaseRelease,
+		protocol.OpFinalize:          PhaseFinalize,
+	}
+	for op, want := range cases {
+		if got := PhaseOf(op); got != want {
+			t.Errorf("PhaseOf(%v) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	for p := PhaseInit; p < numPhases; p++ {
+		if s := p.String(); s == "" || strings.HasPrefix(s, "Phase(") {
+			t.Fatalf("phase %d has no name", p)
+		}
+	}
+	if Phase(99).String() != "Phase(99)" {
+		t.Fatal("unknown phase formatting")
+	}
+}
+
+func TestRecorderTimeline(t *testing.T) {
+	clk := vclock.NewSim()
+	rec := NewRecorder(clk)
+
+	clk.Sleep(10 * time.Millisecond)
+	rec.Call(protocol.OpInit, 21490, 12)
+	clk.Sleep(5 * time.Millisecond)
+	rec.Call(protocol.OpMalloc, 8, 8)
+	clk.Sleep(100 * time.Millisecond)
+	rec.Call(protocol.OpMemcpyToDevice, 1<<20, 4)
+	clk.Sleep(50 * time.Millisecond)
+	rec.Call(protocol.OpLaunch, 68, 4)
+	clk.Sleep(80 * time.Millisecond)
+	rec.Call(protocol.OpMemcpyToHost, 20, 1<<20)
+	clk.Sleep(time.Millisecond)
+	rec.Call(protocol.OpFree, 8, 4)
+	rec.Call(protocol.OpFinalize, 4, 0)
+
+	events := rec.Events()
+	if len(events) != 7 {
+		t.Fatalf("recorded %d events, want 7", len(events))
+	}
+	if events[0].At != 10*time.Millisecond {
+		t.Fatalf("first event at %v", events[0].At)
+	}
+
+	bd := rec.PhaseBreakdown(0)
+	if len(bd) != int(numPhases) {
+		t.Fatalf("breakdown has %d phases", len(bd))
+	}
+	get := func(p Phase) Breakdown { return bd[p] }
+	if got := get(PhaseInit).Time; got != 10*time.Millisecond {
+		t.Fatalf("init phase %v", got)
+	}
+	if got := get(PhaseInput).Time; got != 100*time.Millisecond {
+		t.Fatalf("input phase %v", got)
+	}
+	if got := get(PhaseKernel).Time; got != 50*time.Millisecond {
+		t.Fatalf("kernel phase %v", got)
+	}
+	if got := get(PhaseOutput).Time; got != 80*time.Millisecond {
+		t.Fatalf("output phase %v", got)
+	}
+	if get(PhaseInput).SendBytes != 1<<20 {
+		t.Fatal("input bytes")
+	}
+	if get(PhaseOutput).RecvBytes != 1<<20 {
+		t.Fatal("output bytes")
+	}
+	var total time.Duration
+	for _, b := range bd {
+		total += b.Time
+	}
+	if total != clk.Now() {
+		t.Fatalf("phase times sum to %v, clock at %v", total, clk.Now())
+	}
+}
+
+func TestRenderContainsPhasesAndOps(t *testing.T) {
+	rec := NewRecorder(vclock.NewSim())
+	rec.Call(protocol.OpInit, 21490, 12)
+	rec.Call(protocol.OpMalloc, 8, 8)
+	rec.Call(protocol.OpLaunch, 68, 4)
+	out := rec.Render()
+	for _, want := range []string{"Initialization", "Memory allocation", "Kernel execution", "cudaMalloc", "cudaLaunch", "21490"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	rec := NewRecorder(vclock.NewSim())
+	if len(rec.Events()) != 0 {
+		t.Fatal("fresh recorder has events")
+	}
+	bd := rec.PhaseBreakdown(0)
+	for _, b := range bd {
+		if b.Calls != 0 || b.Time != 0 {
+			t.Fatalf("empty breakdown has data: %+v", b)
+		}
+	}
+	if out := rec.Render(); !strings.Contains(out, "Client") {
+		t.Fatal("render header missing")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	clk := vclock.NewSim()
+	rec := NewRecorder(clk)
+	clk.Sleep(time.Millisecond)
+	rec.Call(protocol.OpMalloc, 8, 8)
+	out := rec.CSV()
+	if !strings.Contains(out, "op,phase,send_bytes,recv_bytes,completed_us") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, `"cudaMalloc","Memory allocation",8,8,1000.0`) {
+		t.Fatalf("missing event row:\n%s", out)
+	}
+}

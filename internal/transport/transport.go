@@ -1,0 +1,252 @@
+// Package transport carries rCUDA protocol messages between client and
+// server. Two implementations exist:
+//
+//   - TCP: real sockets via net, with Nagle's algorithm disabled exactly as
+//     the paper does ("we disabled the TCP-layer congestion control
+//     algorithm ... to avoid unnecessary delays introduced by ... Nagle's
+//     algorithm"). Used by the rcudad daemon and the integration tests.
+//
+//   - Pipe: an in-process connection whose sends advance a simulation clock
+//     by the modeled wire time of the chosen interconnect, turning a full
+//     client/server execution into a deterministic discrete-event run over
+//     any of the paper's seven networks.
+//
+// Both carry the length-prefixed frames of package protocol; the simulated
+// wire charges only the Table I payload bytes (framing overhead is part of
+// the measured latency curves the link models reproduce).
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rcuda/internal/netsim"
+	"rcuda/internal/protocol"
+	"rcuda/internal/vclock"
+)
+
+// Conn is a reliable, message-oriented duplex connection.
+type Conn interface {
+	// Send transmits one protocol message.
+	Send(m protocol.Message) error
+	// Recv blocks for the next incoming message payload. It returns
+	// io.EOF after the peer closes.
+	Recv() ([]byte, error)
+	// Close releases the connection. Safe to call more than once.
+	Close() error
+	// Stats reports cumulative traffic counters.
+	Stats() Stats
+}
+
+// Stats counts a connection's traffic in Table I payload bytes.
+type Stats struct {
+	MessagesSent int64
+	MessagesRecv int64
+	BytesSent    int64
+	BytesRecv    int64
+}
+
+// counters is embedded by implementations; all fields are atomics.
+type counters struct {
+	msgsSent, msgsRecv   atomic.Int64
+	bytesSent, bytesRecv atomic.Int64
+}
+
+func (c *counters) onSend(n int) {
+	c.msgsSent.Add(1)
+	c.bytesSent.Add(int64(n))
+}
+
+func (c *counters) onRecv(n int) {
+	c.msgsRecv.Add(1)
+	c.bytesRecv.Add(int64(n))
+}
+
+func (c *counters) Stats() Stats {
+	return Stats{
+		MessagesSent: c.msgsSent.Load(),
+		MessagesRecv: c.msgsRecv.Load(),
+		BytesSent:    c.bytesSent.Load(),
+		BytesRecv:    c.bytesRecv.Load(),
+	}
+}
+
+// --- TCP ---------------------------------------------------------------------
+
+// TCPConn is a Conn over a real socket.
+type TCPConn struct {
+	counters
+	c         net.Conn
+	opTimeout atomic.Int64 // nanoseconds; 0 disables deadlines
+}
+
+var _ Conn = (*TCPConn)(nil)
+
+// DialTCP connects to an rCUDA server, disabling Nagle's algorithm.
+func DialTCP(addr string) (*TCPConn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewTCPConn(c), nil
+}
+
+// NewTCPConn wraps an established socket (e.g. one accepted by the server
+// daemon), disabling Nagle's algorithm when the socket is TCP.
+func NewTCPConn(c net.Conn) *TCPConn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		// Explicitly control the instant a frame is sent out, as the
+		// paper's middleware does. (This is also Go's default, but the
+		// middleware must not depend on it.)
+		_ = tc.SetNoDelay(true)
+	}
+	return &TCPConn{c: c}
+}
+
+// SetOpTimeout bounds every subsequent Send and Recv individually; a hung
+// peer then surfaces as a deadline error instead of blocking the
+// application forever. Zero (the default) disables deadlines. Safe to call
+// concurrently with in-flight operations; it affects operations started
+// afterwards.
+func (t *TCPConn) SetOpTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.opTimeout.Store(int64(d))
+}
+
+// armDeadline applies the per-op deadline via the given setter.
+func (t *TCPConn) armDeadline(set func(time.Time) error) error {
+	d := time.Duration(t.opTimeout.Load())
+	if d == 0 {
+		return set(time.Time{})
+	}
+	return set(time.Now().Add(d))
+}
+
+// Send implements Conn.
+func (t *TCPConn) Send(m protocol.Message) error {
+	if err := t.armDeadline(t.c.SetWriteDeadline); err != nil {
+		return err
+	}
+	if err := protocol.WriteFrame(t.c, m); err != nil {
+		return err
+	}
+	t.onSend(m.WireSize())
+	return nil
+}
+
+// Recv implements Conn.
+func (t *TCPConn) Recv() ([]byte, error) {
+	if err := t.armDeadline(t.c.SetReadDeadline); err != nil {
+		return nil, err
+	}
+	payload, err := protocol.ReadFrame(t.c)
+	if err != nil {
+		return nil, err
+	}
+	t.onRecv(len(payload))
+	return payload, nil
+}
+
+// Close implements Conn.
+func (t *TCPConn) Close() error { return t.c.Close() }
+
+// --- Simulated pipe -----------------------------------------------------------
+
+// ErrClosed is returned by operations on a closed simulated connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// pipeBuffer bounds in-flight messages per direction. The protocol is
+// strictly request/response, so even a small buffer never blocks.
+const pipeBuffer = 16
+
+// PipeEnd is one end of a simulated connection.
+type PipeEnd struct {
+	counters
+	link      *netsim.Link
+	clock     vclock.Clock
+	noise     *netsim.Noise
+	out       chan []byte
+	in        chan []byte
+	done      chan struct{}
+	closeOnce *sync.Once
+	peer      *PipeEnd
+}
+
+var _ Conn = (*PipeEnd)(nil)
+
+// Pipe creates a connected pair of simulated connection ends over the given
+// interconnect. Every Send advances the shared clock by the link's modeled
+// wire time for the message's payload size (perturbed by noise, which may
+// be nil), then delivers the payload to the peer.
+func Pipe(link *netsim.Link, clock vclock.Clock, noise *netsim.Noise) (client, server *PipeEnd) {
+	ab := make(chan []byte, pipeBuffer)
+	ba := make(chan []byte, pipeBuffer)
+	done := make(chan struct{})
+	once := new(sync.Once)
+	a := &PipeEnd{link: link, clock: clock, noise: noise, out: ab, in: ba, done: done, closeOnce: once}
+	b := &PipeEnd{link: link, clock: clock, noise: noise, out: ba, in: ab, done: done, closeOnce: once}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Send implements Conn: it charges the modeled one-way wire latency on the
+// shared clock and enqueues the payload at the peer.
+func (p *PipeEnd) Send(m protocol.Message) error {
+	payload := m.Encode(make([]byte, 0, m.WireSize()))
+	if len(payload) != m.WireSize() {
+		return fmt.Errorf("transport: %T encoded %d bytes, declared %d", m, len(payload), m.WireSize())
+	}
+	wire := p.link.WireTime(int64(len(payload)))
+	if p.noise != nil {
+		wire = p.noise.Perturb(wire)
+	}
+	select {
+	case <-p.done:
+		return ErrClosed
+	default:
+	}
+	p.clock.Sleep(wire)
+	select {
+	case p.out <- payload:
+		p.onSend(len(payload))
+		return nil
+	case <-p.done:
+		return ErrClosed
+	}
+}
+
+// Recv implements Conn.
+func (p *PipeEnd) Recv() ([]byte, error) {
+	select {
+	case payload := <-p.in:
+		p.onRecv(len(payload))
+		return payload, nil
+	case <-p.done:
+		// Drain anything that raced with Close so shutdown is orderly.
+		select {
+		case payload := <-p.in:
+			p.onRecv(len(payload))
+			return payload, nil
+		default:
+			return nil, errClosedEOF()
+		}
+	}
+}
+
+// errClosedEOF distinguishes orderly shutdown; callers treat it like EOF.
+func errClosedEOF() error { return ErrClosed }
+
+// Close implements Conn. Closing either end terminates both directions.
+func (p *PipeEnd) Close() error {
+	p.closeOnce.Do(func() { close(p.done) })
+	return nil
+}
+
+// Link returns the interconnect this pipe simulates.
+func (p *PipeEnd) Link() *netsim.Link { return p.link }

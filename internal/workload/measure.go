@@ -1,0 +1,44 @@
+package workload
+
+import (
+	"time"
+
+	"rcuda/internal/calib"
+	"rcuda/internal/stats"
+)
+
+// Repetitions used by the paper for execution-time averages.
+const PaperRepetitions = 30
+
+// MeasureMean runs the case study reps times and returns summary statistics
+// of the total times, mirroring the paper's methodology ("empirically
+// measured times are averaged from 30 executions").
+func MeasureMean(cs calib.CaseStudy, size int, backend Backend, opts Options, reps int) (stats.Summary, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	samples := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		r, err := Run(cs, size, backend, opts)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		samples = append(samples, r.Total.Seconds())
+	}
+	return stats.Summarize(samples)
+}
+
+// MeasureSeries sweeps the paper's problem sizes for a case study on one
+// backend, returning the mean execution time per size — the raw material
+// the estimation model is built from.
+func MeasureSeries(cs calib.CaseStudy, backend Backend, opts Options, reps int) (map[int]time.Duration, error) {
+	out := make(map[int]time.Duration)
+	for _, size := range calib.Sizes(cs) {
+		s, err := MeasureMean(cs, size, backend, opts, reps)
+		if err != nil {
+			return nil, err
+		}
+		out[size] = time.Duration(s.Mean * float64(time.Second))
+	}
+	return out, nil
+}

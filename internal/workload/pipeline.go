@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"rcuda/internal/calib"
+	"rcuda/internal/cudart"
+	"rcuda/internal/fft"
+	"rcuda/internal/gpu"
+	"rcuda/internal/kernels"
+	"rcuda/internal/rcuda"
+	"rcuda/internal/transport"
+	"rcuda/internal/vclock"
+)
+
+// Pipelined remote FFT — the extension experiment built on the async
+// support (the paper's future work). The batch is split into chunks; each
+// chunk's host-to-device copy, kernel, and device-to-host copy are queued
+// asynchronously on one of two streams over two ping-pong device buffers,
+// so the server GPU overlaps one chunk's PCIe transfer with another's
+// kernel. The wire itself remains synchronous request/response.
+//
+// As with the base runners there are two modes that agree exactly when
+// noise is off: a functional mode driving the real middleware, and an
+// analytic mode replaying the same message schedule and engine bookkeeping
+// in closed form.
+
+// RunPipelined executes the FFT case study remotely with the batch split
+// into the given number of chunks (≥ 2; the batch must divide evenly).
+func RunPipelined(size int, chunks int, opts Options) (Report, error) {
+	if opts.Clock == nil {
+		opts.Clock = vclock.NewSim()
+	}
+	if opts.Link == nil {
+		return Report{}, fmt.Errorf("workload: pipelined run needs a network link")
+	}
+	if chunks < 2 {
+		return Report{}, fmt.Errorf("workload: pipelining needs at least 2 chunks, got %d", chunks)
+	}
+	if size%chunks != 0 {
+		return Report{}, fmt.Errorf("workload: batch %d does not divide into %d chunks", size, chunks)
+	}
+	if opts.Functional {
+		return runPipelinedFunctional(size, chunks, opts)
+	}
+	return runPipelinedAnalytic(size, chunks, opts)
+}
+
+// runPipelinedAnalytic replays the pipelined message schedule and the
+// device's two-engine timeline in closed form.
+func runPipelinedAnalytic(size, chunks int, opts Options) (Report, error) {
+	sw := vclock.NewStopwatch(opts.Clock)
+	chunkBatch := size / chunks
+	chunkBytes := calib.CopyBytes(calib.FFT, chunkBatch)
+	pcie := calib.PCIeTime(calib.FFT, chunkBatch)
+	kernel := calib.KernelTime(calib.FFT, chunkBatch)
+
+	// Host-side setup, exactly like the synchronous run.
+	parts := Breakdown{
+		DataGen: opts.perturb(calib.DataGenTime(calib.FFT, size)),
+		Marshal: opts.perturb(calib.MarshalTime(calib.FFT, size)),
+		Mgmt:    opts.perturb(calib.Mgmt),
+	}
+	opts.Clock.Sleep(parts.DataGen)
+	opts.Clock.Sleep(parts.Marshal)
+
+	wire := func(bytes int64) time.Duration {
+		return opts.perturb(opts.Link.WireTime(bytes))
+	}
+	netStart := opts.Clock.Now()
+
+	// Session setup messages: init, 2 x malloc, 2 x stream create.
+	moduleMsg := int64(4 + calib.ModuleBytes(calib.FFT))
+	for _, m := range []struct{ send, recv int64 }{
+		{moduleMsg, 12}, {8, 8}, {8, 8}, {4, 8}, {4, 8},
+	} {
+		opts.Clock.Sleep(wire(m.send))
+		opts.Clock.Sleep(wire(m.recv))
+	}
+
+	// Two-engine, two-stream timeline mirroring gpu.Context.schedule.
+	var copyFree, execFree time.Duration
+	streamFree := make([]time.Duration, 2)
+	book := func(engineFree *time.Duration, s int, cost time.Duration) {
+		start := opts.Clock.Now()
+		if *engineFree > start {
+			start = *engineFree
+		}
+		if streamFree[s] > start {
+			start = streamFree[s]
+		}
+		end := start + opts.perturb(cost)
+		*engineFree = end
+		streamFree[s] = end
+	}
+
+	launchVar := int64(len(kernels.FFTKernel)) + 1 + 3*4
+	for c := 0; c < chunks; c++ {
+		s := c % 2
+		// H2D async: request carries the chunk, response is 4 bytes.
+		opts.Clock.Sleep(wire(chunkBytes + 24))
+		book(&copyFree, s, pcie)
+		opts.Clock.Sleep(wire(4))
+		// Launch async.
+		opts.Clock.Sleep(wire(44 + launchVar))
+		book(&execFree, s, kernel)
+		opts.Clock.Sleep(wire(4))
+		// D2H async: 24-byte request, response carries the chunk.
+		opts.Clock.Sleep(wire(24))
+		book(&copyFree, s, pcie)
+		opts.Clock.Sleep(wire(chunkBytes + 4))
+	}
+	// Device synchronize: small round trip, then the clock advances to
+	// the last engine completion.
+	opts.Clock.Sleep(wire(4))
+	latest := copyFree
+	if execFree > latest {
+		latest = execFree
+	}
+	if sim, ok := opts.Clock.(*vclock.Sim); ok {
+		sim.AdvanceTo(latest)
+	}
+	opts.Clock.Sleep(wire(4))
+	// Teardown: 2 stream destroys, 2 frees, finalize.
+	for _, m := range []struct{ send, recv int64 }{
+		{8, 4}, {8, 4}, {8, 4}, {8, 4}, {4, 0},
+	} {
+		opts.Clock.Sleep(wire(m.send))
+		if m.recv > 0 {
+			opts.Clock.Sleep(wire(m.recv))
+		}
+	}
+	parts.Network = opts.Clock.Now() - netStart
+	opts.Clock.Sleep(parts.Mgmt)
+
+	return Report{
+		CS: calib.FFT, Size: size, Backend: Remote, Network: opts.Link.Name(),
+		Total: sw.Elapsed(), Parts: parts,
+	}, nil
+}
+
+// runPipelinedFunctional drives the real middleware with streams.
+func runPipelinedFunctional(size, chunks int, opts Options) (Report, error) {
+	if err := checkFunctionalSize(calib.FFT, size); err != nil {
+		return Report{}, err
+	}
+	sw := vclock.NewStopwatch(opts.Clock)
+	dev := gpu.New(gpu.Config{Clock: opts.Clock, Jitter: opts.Noise})
+	server := rcuda.NewServer(dev)
+	cliEnd, srvEnd := transport.Pipe(opts.Link, opts.Clock, opts.Noise)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- server.ServeConn(srvEnd) }()
+
+	mod, err := kernels.ModuleFor(calib.FFT)
+	if err != nil {
+		return Report{}, err
+	}
+	img, err := mod.Binary()
+	if err != nil {
+		return Report{}, err
+	}
+	client, err := rcuda.Open(cliEnd, img)
+	if err != nil {
+		return Report{}, err
+	}
+
+	opts.Clock.Sleep(opts.perturb(calib.DataGenTime(calib.FFT, size)))
+	opts.Clock.Sleep(opts.perturb(calib.MarshalTime(calib.FFT, size)))
+
+	report, runErr := pipelineBody(size, chunks, client, opts)
+	closeErr := client.Close()
+	if err := <-serveDone; err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		return Report{}, runErr
+	}
+	if closeErr != nil {
+		return Report{}, closeErr
+	}
+	if inUse := dev.MemoryInUse(); inUse != 0 {
+		return Report{}, fmt.Errorf("workload: %d bytes leaked on the device", inUse)
+	}
+	opts.Clock.Sleep(opts.perturb(calib.Mgmt))
+	report.Total = sw.Elapsed()
+	return report, nil
+}
+
+func pipelineBody(size, chunks int, client *rcuda.Client, opts Options) (Report, error) {
+	chunkBatch := size / chunks
+	chunkBytes := uint32(chunkBatch * fft.BytesPerTransform)
+
+	var bufs [2]cudart.DevicePtr
+	for i := range bufs {
+		p, err := client.Malloc(chunkBytes)
+		if err != nil {
+			return Report{}, err
+		}
+		bufs[i] = p
+	}
+	var streams [2]cudart.Stream
+	for i := range streams {
+		s, err := client.StreamCreate()
+		if err != nil {
+			return Report{}, err
+		}
+		streams[i] = s
+	}
+
+	// Generate per-chunk input, queue the pipeline, and collect outputs.
+	verified := true
+	outs := make([][]byte, chunks)
+	for c := 0; c < chunks; c++ {
+		s, buf := streams[c%2], bufs[c%2]
+		in := make([]complex64, chunkBatch*fft.Points)
+		for i := range in {
+			in[i] = complex(float32((c+i)%7)-3, float32(i%5)-2)
+		}
+		raw := cudart.Complex64Bytes(in)
+		if err := client.MemcpyToDeviceAsync(buf, raw, s); err != nil {
+			return Report{}, err
+		}
+		if err := client.LaunchAsync(kernels.FFTKernel,
+			cudart.Dim3{X: uint32(chunkBatch)}, cudart.Dim3{X: 64}, 0,
+			gpu.PackParams(uint32(buf), uint32(chunkBatch), 0), s); err != nil {
+			return Report{}, err
+		}
+		out := make([]byte, len(raw))
+		if err := client.MemcpyToHostAsync(out, buf, s); err != nil {
+			return Report{}, err
+		}
+		outs[c] = out
+
+		// Verify against the host FFT.
+		want := append([]complex64(nil), in...)
+		if err := fft.TransformBatch(fft.Forward, want, fft.Points); err != nil {
+			return Report{}, err
+		}
+		got := cudart.BytesComplex64(out)
+		for i := range want {
+			dr := real(got[i]) - real(want[i])
+			di := imag(got[i]) - imag(want[i])
+			if dr*dr+di*di > 1e-4 {
+				verified = false
+			}
+		}
+	}
+	if err := client.DeviceSynchronize(); err != nil {
+		return Report{}, err
+	}
+	for _, s := range streams {
+		if err := client.StreamDestroy(s); err != nil {
+			return Report{}, err
+		}
+	}
+	for _, p := range bufs {
+		if err := client.Free(p); err != nil {
+			return Report{}, err
+		}
+	}
+	return Report{
+		CS: calib.FFT, Size: size, Backend: Remote, Network: opts.Link.Name(),
+		Verified: verified,
+	}, nil
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"rcuda/internal/calib"
+	"rcuda/internal/netsim"
+)
+
+func TestPipelinedValidation(t *testing.T) {
+	if _, err := RunPipelined(2048, 4, Options{}); err == nil {
+		t.Fatal("missing link must fail")
+	}
+	link := netsim.IB40G()
+	if _, err := RunPipelined(2048, 1, Options{Link: link}); err == nil {
+		t.Fatal("single chunk must fail")
+	}
+	if _, err := RunPipelined(100, 3, Options{Link: link}); err == nil {
+		t.Fatal("indivisible batch must fail")
+	}
+}
+
+func TestPipelinedFunctionalMatchesAnalytic(t *testing.T) {
+	for _, netName := range []string{"40GI", "GigaE"} {
+		link, err := netsim.ByName(netName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analytic, err := RunPipelined(512, 4, Options{Link: link})
+		if err != nil {
+			t.Fatal(err)
+		}
+		functional, err := RunPipelined(512, 4, Options{Link: link, Functional: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !functional.Verified {
+			t.Fatalf("%s: pipelined functional run not verified", netName)
+		}
+		diff := functional.Total - analytic.Total
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > analytic.Total/1000 {
+			t.Fatalf("%s: functional %v vs analytic %v differ by %v",
+				netName, functional.Total, analytic.Total, diff)
+		}
+	}
+}
+
+func TestPipeliningBeatsSynchronousOnFastNetworks(t *testing.T) {
+	// Over 40GI the wire is fast enough that the device engines are the
+	// bottleneck, so overlap helps.
+	link := netsim.IB40G()
+	for _, size := range calib.Sizes(calib.FFT) {
+		sync, err := Run(calib.FFT, size, Remote, Options{Link: link})
+		if err != nil {
+			t.Fatal(err)
+		}
+		piped, err := RunPipelined(size, 8, Options{Link: link})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if piped.Total >= sync.Total {
+			t.Fatalf("batch %d: pipelined %v should beat synchronous %v on 40GI",
+				size, piped.Total, sync.Total)
+		}
+	}
+}
+
+func TestPipeliningGainsShrinkOnSlowNetworks(t *testing.T) {
+	// On GigaE the wire dominates; overlap can only hide the device time,
+	// so the relative gain must be smaller than on 40GI.
+	const size = 8192
+	gain := func(link *netsim.Link) float64 {
+		sync, err := Run(calib.FFT, size, Remote, Options{Link: link})
+		if err != nil {
+			t.Fatal(err)
+		}
+		piped, err := RunPipelined(size, 8, Options{Link: link})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return 1 - float64(piped.Total)/float64(sync.Total)
+	}
+	fast := gain(netsim.IB40G())
+	slow := gain(netsim.GigaE())
+	if fast <= slow {
+		t.Fatalf("pipelining gain on 40GI (%.3f) should exceed GigaE (%.3f)", fast, slow)
+	}
+}
+
+func TestPipelinedDeterministicWithNoise(t *testing.T) {
+	link := netsim.IB40G()
+	a, err := RunPipelined(2048, 4, Options{Link: link, Noise: netsim.NewNoise(3, 0.005)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPipelined(2048, 4, Options{Link: link, Noise: netsim.NewNoise(3, 0.005)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != b.Total {
+		t.Fatal("same seed must reproduce the pipelined run")
+	}
+}
+
+func TestPipelinedBreakdownPlausible(t *testing.T) {
+	link := netsim.GigaE()
+	r, err := RunPipelined(2048, 4, Options{Link: link})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Parts.Network <= 0 || r.Parts.DataGen <= 0 || r.Parts.Marshal <= 0 {
+		t.Fatalf("breakdown %+v missing components", r.Parts)
+	}
+	if r.Parts.Network >= r.Total {
+		t.Fatal("network time cannot exceed the total")
+	}
+	// The two payload directions dominate a GigaE run.
+	wire2 := 2 * link.WireTime(calib.CopyBytes(calib.FFT, 2048))
+	if r.Parts.Network < wire2/2 {
+		t.Fatalf("network %v implausibly small vs payload %v", r.Parts.Network, wire2)
+	}
+	_ = time.Nanosecond
+}

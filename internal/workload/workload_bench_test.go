@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"testing"
+
+	"rcuda/internal/calib"
+	"rcuda/internal/netsim"
+)
+
+func BenchmarkAnalyticRemoteRun(b *testing.B) {
+	link := netsim.IB40G()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(calib.MM, 8192, Remote, Options{Link: link}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFunctionalRemoteRun(b *testing.B) {
+	link := netsim.IB40G()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := Run(calib.MM, 64, Remote, Options{Link: link, Functional: true, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Verified {
+			b.Fatal("unverified")
+		}
+	}
+}
+
+func BenchmarkPipelinedAnalytic(b *testing.B) {
+	link := netsim.IB40G()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunPipelined(8192, 8, Options{Link: link}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

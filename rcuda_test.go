@@ -1,0 +1,188 @@
+package rcuda
+
+import (
+	"math"
+	"net"
+	"testing"
+
+	"rcuda/internal/calib"
+)
+
+// The façade must support the full quickstart flow over real TCP.
+func TestPublicAPIQuickstart(t *testing.T) {
+	dev := NewDevice()
+	server := NewServer(dev)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- server.Serve(ln) }()
+
+	mod, err := CaseStudyModule(MM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := mod.Binary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(ln.Addr().String(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const m = 16
+	a := make([]float32, m*m)
+	b := make([]float32, m*m)
+	for i := range a {
+		a[i], b[i] = 1, 1
+	}
+	nbytes := uint32(4 * m * m)
+	var ptrs [3]DevicePtr
+	for i := range ptrs {
+		p, err := client.Malloc(nbytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs[i] = p
+	}
+	if err := client.MemcpyToDevice(ptrs[0], Float32Bytes(a)); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.MemcpyToDevice(ptrs[1], Float32Bytes(b)); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Launch(SgemmKernel, Dim3{X: 1}, Dim3{X: 16}, 0,
+		PackParams(uint32(ptrs[0]), uint32(ptrs[1]), uint32(ptrs[2]), m)); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, nbytes)
+	if err := client.MemcpyToHost(out, ptrs[2]); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range BytesFloat32(out) {
+		if v != m { // all-ones product: every element is m
+			t.Fatalf("C[%d] = %g, want %d", i, v, m)
+		}
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPINetworks(t *testing.T) {
+	nets := Networks()
+	if len(nets) != 7 {
+		t.Fatalf("Networks() returned %d, want 7", len(nets))
+	}
+	ge, err := NetworkByName("GigaE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge.Bandwidth() != 112.4 {
+		t.Fatalf("GigaE bandwidth %v", ge.Bandwidth())
+	}
+	if _, err := NetworkByName("carrier-pigeon"); err == nil {
+		t.Fatal("unknown network must error")
+	}
+}
+
+func TestPublicAPIProblemSizes(t *testing.T) {
+	if got := ProblemSizes(MM); len(got) != 8 || got[0] != 4096 {
+		t.Fatalf("MM sizes %v", got)
+	}
+	if got := ProblemSizes(FFT); len(got) != 7 || got[0] != 2048 {
+		t.Fatalf("FFT sizes %v", got)
+	}
+}
+
+// The public measurement + modeling flow must reproduce the paper's shape:
+// measure on GigaE, predict 40GI within a few percent.
+func TestPublicAPIModelFlow(t *testing.T) {
+	ge, err := NetworkByName("GigaE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := NetworkByName("40GI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, err := MeasureRemote(MM, ge, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(measured) != 8 {
+		t.Fatalf("measured %d sizes", len(measured))
+	}
+	model, err := BuildModel(MM, ge, measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := model.Estimate(ib, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := calib.PaperMeasured(calib.MM, "40GI", 8192)
+	if rel := math.Abs(est.Seconds()-want.Seconds()) / want.Seconds(); rel > 0.05 {
+		t.Fatalf("public model flow predicts %v for 40GI@8192, paper measured %v (%.1f%% off)",
+			est, want, rel*100)
+	}
+}
+
+func TestPublicAPISimClock(t *testing.T) {
+	clk := NewSimClock()
+	dev := NewSimDevice(clk)
+	if dev.MemoryBytes() == 0 {
+		t.Fatal("sim device must have memory")
+	}
+	if clk.Now() != 0 {
+		t.Fatal("fresh sim clock must start at zero")
+	}
+}
+
+func TestSimSessionFacade(t *testing.T) {
+	link, err := NetworkByName("40GI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := CaseStudyModule(MM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := mod.Binary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSimSession(link, img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sess.Clock.Now()
+	ptr, err := sess.Client.Malloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Clock.Now() == before {
+		t.Fatal("simulated session must advance virtual time")
+	}
+	if err := sess.Client.Free(ptr); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Device.MemoryInUse() != 0 {
+		t.Fatal("session close must release device memory")
+	}
+	// A bogus module fails cleanly.
+	if _, err := NewSimSession(link, []byte("junk"), nil); err == nil {
+		t.Fatal("bogus module must fail")
+	}
+}
