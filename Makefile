@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz repro figures experiments clean
+.PHONY: all build test race verify bench fuzz repro figures experiments clean
 
 all: build test
 
@@ -16,6 +16,11 @@ test:
 
 race:
 	$(GO) test -race -count=1 ./...
+
+# Tier-1 verification: full build + tests, plus the concurrent data-path
+# packages (transport framing, middleware streaming) under the race detector.
+verify: build test
+	$(GO) test -race ./internal/transport/... ./internal/rcuda/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -66,12 +66,22 @@ var ErrInvalidEvent = fmt.Errorf("gpu: invalid event")
 // schedule books an async operation of the given cost on an engine and
 // stream, returning its completion instant. The caller holds c.mu.
 func (c *Context) schedule(eng engineKind, stream uint32, cost time.Duration) (time.Duration, error) {
+	return c.scheduleAt(eng, stream, cost, c.dev.cfg.Clock.Now())
+}
+
+// scheduleAt books an async operation that cannot start before the given
+// instant, returning its completion instant. Unlike schedule it does not
+// consult the clock: the chunked-memcpy server books PCIe pushes at each
+// chunk's network-arrival stamp while the sending client has already
+// advanced the shared clock past it, so "now" would erase exactly the
+// overlap being modeled. The caller holds c.mu.
+func (c *Context) scheduleAt(eng engineKind, stream uint32, cost, notBefore time.Duration) (time.Duration, error) {
 	tl := c.tl
 	sdone, ok := tl.streamDone[stream]
 	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrInvalidStream, stream)
 	}
-	start := c.dev.cfg.Clock.Now()
+	start := notBefore
 	if tl.engineDone[eng] > start {
 		start = tl.engineDone[eng]
 	}

@@ -113,12 +113,7 @@ type MemcpyToDeviceAsyncRequest struct {
 
 // Encode implements Message.
 func (m *MemcpyToDeviceAsyncRequest) Encode(dst []byte) []byte {
-	dst = putU32(dst, uint32(OpMemcpyToDeviceAsync))
-	dst = putU32(dst, m.Dst)
-	dst = putU32(dst, m.Src)
-	dst = putU32(dst, uint32(len(m.Data)))
-	dst = putU32(dst, KindHostToDevice)
-	dst = putU32(dst, m.Stream)
+	dst = m.SegmentHead(dst)
 	return append(dst, m.Data...)
 }
 
@@ -127,6 +122,22 @@ func (m *MemcpyToDeviceAsyncRequest) WireSize() int { return 24 + len(m.Data) }
 
 // Op implements Request.
 func (m *MemcpyToDeviceAsyncRequest) Op() Op { return OpMemcpyToDeviceAsync }
+
+// SegmentHead implements Segmented.
+func (m *MemcpyToDeviceAsyncRequest) SegmentHead(dst []byte) []byte {
+	dst = putU32(dst, uint32(OpMemcpyToDeviceAsync))
+	dst = putU32(dst, m.Dst)
+	dst = putU32(dst, m.Src)
+	dst = putU32(dst, uint32(len(m.Data)))
+	dst = putU32(dst, KindHostToDevice)
+	return putU32(dst, m.Stream)
+}
+
+// SegmentBulk implements Segmented.
+func (m *MemcpyToDeviceAsyncRequest) SegmentBulk() []byte { return m.Data }
+
+// SegmentTail implements Segmented.
+func (m *MemcpyToDeviceAsyncRequest) SegmentTail(dst []byte) []byte { return dst }
 
 // MemcpyToHostAsyncRequest is the device-to-host copy with a stream:
 // id (4) + dst (4) + src (4) + size (4) + kind (4) + stream (4) = 24 bytes.
@@ -298,10 +309,10 @@ func decodeAsyncRequest(op Op, b []byte) (Request, error) {
 		if len(b) != 24+size {
 			return nil, fmt.Errorf("protocol: async memcpy size %d does not match payload %d", size, len(b)-24)
 		}
-		data := make([]byte, size)
-		copy(data, b[24:])
+		// Data aliases b; see the synchronous memcpy decode in
+		// DecodeRequest for the ownership contract.
 		return &MemcpyToDeviceAsyncRequest{
-			Dst: getU32(b, 4), Src: getU32(b, 8), Stream: getU32(b, 20), Data: data,
+			Dst: getU32(b, 4), Src: getU32(b, 8), Stream: getU32(b, 20), Data: b[24:],
 		}, nil
 	case OpMemcpyToHostAsync:
 		if len(b) != 24 {

@@ -1,0 +1,310 @@
+package protocol
+
+import "fmt"
+
+// This file defines the pipelined chunked-memcpy extension. The paper's
+// data path moves every cudaMemcpy payload in one monolithic frame and
+// strictly serializes the network and PCIe stages; it explicitly leaves
+// overlapping them as future work. The chunked protocol splits a bulk
+// transfer into fixed-size chunks so the server can push chunk k across the
+// PCIe link while chunk k+1 is still on the wire (and symmetrically for
+// device-to-host reads), making the modeled transfer time approach
+// max(network, PCIe) instead of their sum.
+//
+// Flow, host to device:
+//
+//	client                          server
+//	  MemcpyStreamBegin  ──────▶    validate region, open stream
+//	             ◀──────  MemcpyStreamBeginResponse (abort here on error)
+//	  MemcpyStreamChunk 0 ─────▶    PCIe push booked at arrival instant
+//	  MemcpyStreamChunk 1 ─────▶    ... overlapped with the next chunk's
+//	  ...                           network transfer ...
+//	  MemcpyStreamEnd    ──────▶    drain the stream
+//	             ◀──────  MemcpyStreamEndResponse
+//
+// Device to host mirrors it: after the Begin acknowledgement the server
+// streams the chunks and closes with the End response. Chunks are never
+// individually acknowledged — that is what buys the overlap.
+//
+// The classic single-frame messages remain the default; this path is
+// opt-in above a client-side size threshold, so the Table I byte
+// accounting and the default wire format are unchanged.
+
+// Chunked-transfer operations continue the Op space after the queries.
+const (
+	OpMemcpyStreamBegin Op = iota + opQuerySentinel
+	OpMemcpyStreamChunk
+	OpMemcpyStreamEnd
+	opChunkedSentinel
+)
+
+// chunkedOpNames extends Op.String for the chunked-transfer operations.
+var chunkedOpNames = map[Op]string{
+	OpMemcpyStreamBegin: "cudaMemcpy (stream begin)",
+	OpMemcpyStreamChunk: "cudaMemcpy (stream chunk)",
+	OpMemcpyStreamEnd:   "cudaMemcpy (stream end)",
+}
+
+// DefaultChunkSize is the default payload size of one stream chunk. One
+// MiB is large enough to amortize the 12-byte chunk header to noise and
+// small enough that the first PCIe push starts early in the transfer.
+const DefaultChunkSize = 1 << 20
+
+// --- Begin -------------------------------------------------------------------
+
+// MemcpyStreamBeginRequest opens a chunked transfer: id (4) + device
+// pointer (4) + total size (4) + kind (4) + chunk size (4) = 20 bytes.
+// Ptr is the destination for host-to-device transfers and the source for
+// device-to-host ones.
+type MemcpyStreamBeginRequest struct {
+	Ptr       uint32
+	Total     uint32
+	Kind      uint32
+	ChunkSize uint32
+}
+
+// Encode implements Message.
+func (m *MemcpyStreamBeginRequest) Encode(dst []byte) []byte {
+	dst = putU32(dst, uint32(OpMemcpyStreamBegin))
+	dst = putU32(dst, m.Ptr)
+	dst = putU32(dst, m.Total)
+	dst = putU32(dst, m.Kind)
+	return putU32(dst, m.ChunkSize)
+}
+
+// WireSize implements Message.
+func (m *MemcpyStreamBeginRequest) WireSize() int { return 20 }
+
+// Op implements Request.
+func (m *MemcpyStreamBeginRequest) Op() Op { return OpMemcpyStreamBegin }
+
+// MemcpyStreamBeginResponse acknowledges (or rejects) a chunked transfer
+// before any payload moves: CUDA error (4 bytes). A nonzero error means no
+// chunks will follow in either direction.
+type MemcpyStreamBeginResponse struct {
+	Err uint32
+}
+
+// Encode implements Message.
+func (m *MemcpyStreamBeginResponse) Encode(dst []byte) []byte { return putU32(dst, m.Err) }
+
+// WireSize implements Message.
+func (m *MemcpyStreamBeginResponse) WireSize() int { return 4 }
+
+// DecodeMemcpyStreamBeginResponse parses a stream-begin acknowledgement.
+func DecodeMemcpyStreamBeginResponse(b []byte) (*MemcpyStreamBeginResponse, error) {
+	if len(b) != 4 {
+		return nil, ErrShortMessage
+	}
+	return &MemcpyStreamBeginResponse{Err: getU32(b, 0)}, nil
+}
+
+// --- Chunk -------------------------------------------------------------------
+
+// MemcpyStreamChunk carries one payload slice: id (4) + sequence (4) +
+// size (4) + data (x) = x+12 bytes. Chunks flow client→server on
+// host-to-device transfers and server→client on device-to-host ones, and
+// are never individually acknowledged.
+type MemcpyStreamChunk struct {
+	Seq  uint32
+	Data []byte
+}
+
+// Encode implements Message.
+func (m *MemcpyStreamChunk) Encode(dst []byte) []byte {
+	dst = m.SegmentHead(dst)
+	return append(dst, m.Data...)
+}
+
+// WireSize implements Message.
+func (m *MemcpyStreamChunk) WireSize() int { return 12 + len(m.Data) }
+
+// Op implements Request.
+func (m *MemcpyStreamChunk) Op() Op { return OpMemcpyStreamChunk }
+
+// SegmentHead implements Segmented.
+func (m *MemcpyStreamChunk) SegmentHead(dst []byte) []byte {
+	dst = putU32(dst, uint32(OpMemcpyStreamChunk))
+	dst = putU32(dst, m.Seq)
+	return putU32(dst, uint32(len(m.Data)))
+}
+
+// SegmentBulk implements Segmented.
+func (m *MemcpyStreamChunk) SegmentBulk() []byte { return m.Data }
+
+// SegmentTail implements Segmented.
+func (m *MemcpyStreamChunk) SegmentTail(dst []byte) []byte { return dst }
+
+// DecodeMemcpyStreamChunk parses a stream chunk. Data aliases b — the
+// caller owns b until the chunk has been consumed.
+func DecodeMemcpyStreamChunk(b []byte) (*MemcpyStreamChunk, error) {
+	if len(b) < 12 {
+		return nil, ErrShortMessage
+	}
+	if op := Op(getU32(b, 0)); op != OpMemcpyStreamChunk {
+		return nil, fmt.Errorf("%w: %d, want stream chunk", ErrBadOp, uint32(op))
+	}
+	size := int(getU32(b, 8))
+	if len(b) != 12+size {
+		return nil, fmt.Errorf("protocol: stream chunk size %d does not match payload %d", size, len(b)-12)
+	}
+	return &MemcpyStreamChunk{Seq: getU32(b, 4), Data: b[12:]}, nil
+}
+
+// --- End ---------------------------------------------------------------------
+
+// MemcpyStreamEndRequest closes a host-to-device stream and asks for the
+// final status: id (4) + chunk count (4) = 8 bytes.
+type MemcpyStreamEndRequest struct {
+	Chunks uint32
+}
+
+// Encode implements Message.
+func (m *MemcpyStreamEndRequest) Encode(dst []byte) []byte {
+	return putU32(putU32(dst, uint32(OpMemcpyStreamEnd)), m.Chunks)
+}
+
+// WireSize implements Message.
+func (m *MemcpyStreamEndRequest) WireSize() int { return 8 }
+
+// Op implements Request.
+func (m *MemcpyStreamEndRequest) Op() Op { return OpMemcpyStreamEnd }
+
+// MemcpyStreamEndResponse carries the transfer's final result code
+// (4 bytes). For device-to-host streams it follows the last chunk.
+type MemcpyStreamEndResponse struct {
+	Err uint32
+}
+
+// Encode implements Message.
+func (m *MemcpyStreamEndResponse) Encode(dst []byte) []byte { return putU32(dst, m.Err) }
+
+// WireSize implements Message.
+func (m *MemcpyStreamEndResponse) WireSize() int { return 4 }
+
+// DecodeMemcpyStreamEndResponse parses a stream-end status.
+func DecodeMemcpyStreamEndResponse(b []byte) (*MemcpyStreamEndResponse, error) {
+	if len(b) != 4 {
+		return nil, ErrShortMessage
+	}
+	return &MemcpyStreamEndResponse{Err: getU32(b, 0)}, nil
+}
+
+// decodeChunkedRequest handles the chunked-transfer operations for
+// DecodeRequest.
+func decodeChunkedRequest(op Op, b []byte) (Request, error) {
+	switch op {
+	case OpMemcpyStreamBegin:
+		if len(b) != 20 {
+			return nil, ErrShortMessage
+		}
+		m := &MemcpyStreamBeginRequest{
+			Ptr:       getU32(b, 4),
+			Total:     getU32(b, 8),
+			Kind:      getU32(b, 12),
+			ChunkSize: getU32(b, 16),
+		}
+		if m.Kind != KindHostToDevice && m.Kind != KindDeviceToHost {
+			return nil, fmt.Errorf("protocol: stream begin with kind %d", m.Kind)
+		}
+		// Reject corrupt totals before anything downstream sizes a buffer
+		// from them.
+		if m.Total > MaxFrameSize {
+			return nil, fmt.Errorf("protocol: stream total %d exceeds limit %d", m.Total, MaxFrameSize)
+		}
+		if m.ChunkSize == 0 || m.ChunkSize > MaxFrameSize {
+			return nil, fmt.Errorf("protocol: stream chunk size %d out of range", m.ChunkSize)
+		}
+		return m, nil
+	case OpMemcpyStreamChunk:
+		return DecodeMemcpyStreamChunk(b)
+	case OpMemcpyStreamEnd:
+		if len(b) != 8 {
+			return nil, ErrShortMessage
+		}
+		return &MemcpyStreamEndRequest{Chunks: getU32(b, 4)}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadOp, uint32(op))
+	}
+}
+
+// --- Reassembly --------------------------------------------------------------
+
+// ChunkAssembler validates the chunk sequence of one transfer and, when
+// given a destination buffer, reassembles the payload into it with no
+// intermediate copy. A nil destination validates only (the server's
+// host-to-device path pushes each chunk straight to device memory).
+type ChunkAssembler struct {
+	dst       []byte
+	total     int
+	chunkSize int
+	next      uint32
+	off       int
+}
+
+// NewChunkAssembler prepares reassembly of a transfer of total bytes in
+// chunkSize-byte chunks. dst must be nil or exactly total bytes long.
+func NewChunkAssembler(total, chunkSize uint32, dst []byte) (*ChunkAssembler, error) {
+	if total > MaxFrameSize {
+		return nil, fmt.Errorf("protocol: stream total %d exceeds limit %d", total, MaxFrameSize)
+	}
+	if chunkSize == 0 {
+		return nil, fmt.Errorf("protocol: zero stream chunk size")
+	}
+	if dst != nil && len(dst) != int(total) {
+		return nil, fmt.Errorf("protocol: assembler buffer %d bytes, want %d", len(dst), total)
+	}
+	return &ChunkAssembler{dst: dst, total: int(total), chunkSize: int(chunkSize)}, nil
+}
+
+// Add validates the next chunk and copies it into place when the assembler
+// owns a buffer. It returns the byte offset the chunk belongs at. Every
+// chunk must be exactly chunkSize bytes except the final one, which
+// carries the remainder.
+func (a *ChunkAssembler) Add(c *MemcpyStreamChunk) (off int, err error) {
+	if c.Seq != a.next {
+		return 0, fmt.Errorf("protocol: stream chunk %d out of order, want %d", c.Seq, a.next)
+	}
+	want := a.total - a.off
+	if want > a.chunkSize {
+		want = a.chunkSize
+	}
+	if want <= 0 {
+		return 0, fmt.Errorf("protocol: stream chunk %d past declared total %d", c.Seq, a.total)
+	}
+	if len(c.Data) != want {
+		return 0, fmt.Errorf("protocol: stream chunk %d carries %d bytes, want %d", c.Seq, len(c.Data), want)
+	}
+	off = a.off
+	if a.dst != nil {
+		copy(a.dst[off:], c.Data)
+	}
+	a.off += len(c.Data)
+	a.next++
+	return off, nil
+}
+
+// Complete reports whether every declared byte has arrived.
+func (a *ChunkAssembler) Complete() bool { return a.off == a.total }
+
+// Finish validates the closing End message: the stream must be complete
+// and the sender's chunk count must match what arrived. An early End (the
+// out-of-order case) is an error.
+func (a *ChunkAssembler) Finish(e *MemcpyStreamEndRequest) error {
+	if !a.Complete() {
+		return fmt.Errorf("protocol: stream end after %d of %d bytes", a.off, a.total)
+	}
+	if e.Chunks != a.next {
+		return fmt.Errorf("protocol: stream end declares %d chunks, got %d", e.Chunks, a.next)
+	}
+	return nil
+}
+
+// Chunks returns how many chunks a transfer of total bytes takes at the
+// given chunk size.
+func Chunks(total, chunkSize uint32) uint32 {
+	if chunkSize == 0 {
+		return 0
+	}
+	return (total + chunkSize - 1) / chunkSize
+}

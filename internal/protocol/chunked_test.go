@@ -1,0 +1,225 @@
+package protocol
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChunkedOpNames(t *testing.T) {
+	for op, want := range chunkedOpNames {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", uint32(op), got, want)
+		}
+	}
+}
+
+func TestChunkedRequestRoundTrips(t *testing.T) {
+	reqs := []Request{
+		&MemcpyStreamBeginRequest{Ptr: 0x100, Total: 1 << 20, Kind: KindHostToDevice, ChunkSize: 1 << 16},
+		&MemcpyStreamBeginRequest{Ptr: 0x200, Total: 7, Kind: KindDeviceToHost, ChunkSize: 4},
+		&MemcpyStreamChunk{Seq: 3, Data: []byte{1, 2, 3, 4, 5}},
+		&MemcpyStreamChunk{Seq: 0, Data: nil},
+		&MemcpyStreamEndRequest{Chunks: 16},
+	}
+	for _, req := range reqs {
+		enc := req.Encode(nil)
+		if len(enc) != req.WireSize() {
+			t.Fatalf("%T encodes %d bytes, declares %d", req, len(enc), req.WireSize())
+		}
+		back, err := DecodeRequest(enc)
+		if err != nil {
+			t.Fatalf("%T: %v", req, err)
+		}
+		if !bytes.Equal(back.Encode(nil), enc) {
+			t.Fatalf("%T does not round-trip", req)
+		}
+	}
+}
+
+func TestChunkedResponseRoundTrips(t *testing.T) {
+	ack := &MemcpyStreamBeginResponse{Err: 11}
+	back, err := DecodeMemcpyStreamBeginResponse(ack.Encode(nil))
+	if err != nil || back.Err != 11 {
+		t.Fatalf("begin response round trip: %+v, %v", back, err)
+	}
+	if _, err := DecodeMemcpyStreamBeginResponse([]byte{1, 2}); err == nil {
+		t.Fatal("short begin response must fail")
+	}
+	end := &MemcpyStreamEndResponse{Err: 4}
+	back2, err := DecodeMemcpyStreamEndResponse(end.Encode(nil))
+	if err != nil || back2.Err != 4 {
+		t.Fatalf("end response round trip: %+v, %v", back2, err)
+	}
+	if _, err := DecodeMemcpyStreamEndResponse([]byte{}); err == nil {
+		t.Fatal("short end response must fail")
+	}
+}
+
+// TestStreamBeginRejectsBeforeAllocation: corrupt Begin fields must be
+// rejected at decode time — nothing downstream may size a buffer from them.
+func TestStreamBeginRejectsBeforeAllocation(t *testing.T) {
+	encode := func(ptr, total, kind, chunkSize uint32) []byte {
+		return (&MemcpyStreamBeginRequest{Ptr: ptr, Total: total, Kind: kind, ChunkSize: chunkSize}).Encode(nil)
+	}
+	cases := map[string][]byte{
+		"bad kind":         encode(0, 64, 9, 16),
+		"kind zero":        encode(0, 64, 0, 16),
+		"oversize total":   encode(0, MaxFrameSize+1, KindHostToDevice, 1<<20),
+		"zero chunk size":  encode(0, 64, KindHostToDevice, 0),
+		"huge chunk size":  encode(0, 64, KindHostToDevice, MaxFrameSize+1),
+		"truncated":        encode(0, 64, KindHostToDevice, 16)[:12],
+		"trailing garbage": append(encode(0, 64, KindHostToDevice, 16), 0xee),
+	}
+	for name, raw := range cases {
+		if _, err := DecodeRequest(raw); err == nil {
+			t.Errorf("%s: decode must fail", name)
+		}
+	}
+}
+
+func TestStreamChunkDecodeErrors(t *testing.T) {
+	good := (&MemcpyStreamChunk{Seq: 1, Data: []byte{1, 2, 3}}).Encode(nil)
+	if _, err := DecodeMemcpyStreamChunk(good[:8]); err == nil {
+		t.Fatal("truncated chunk must fail")
+	}
+	// Declared size larger than the remaining payload.
+	short := append([]byte(nil), good...)
+	short = short[:len(short)-1]
+	if _, err := DecodeMemcpyStreamChunk(short); err == nil {
+		t.Fatal("chunk with missing payload bytes must fail")
+	}
+	// Declared size smaller than the payload present.
+	long := append(append([]byte(nil), good...), 0xaa)
+	if _, err := DecodeMemcpyStreamChunk(long); err == nil {
+		t.Fatal("chunk with excess payload bytes must fail")
+	}
+	wrongOp := append((&MemcpyStreamEndRequest{}).Encode(nil), 0, 0, 0, 0)
+	if _, err := DecodeMemcpyStreamChunk(wrongOp); err == nil {
+		t.Fatal("wrong op must fail")
+	}
+	// Data must alias the input buffer, not copy it.
+	c, err := DecodeMemcpyStreamChunk(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good[12] = 0x55
+	if c.Data[0] != 0x55 {
+		t.Fatal("chunk Data must alias the frame buffer")
+	}
+}
+
+func TestChunkAssemblerReassembles(t *testing.T) {
+	src := []byte("the quick brown fox jumps over the lazy dog")
+	total, chunkSize := uint32(len(src)), uint32(10)
+	dst := make([]byte, total)
+	asm, err := NewChunkAssembler(total, chunkSize, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq uint32
+	for off := 0; off < len(src); off += int(chunkSize) {
+		end := off + int(chunkSize)
+		if end > len(src) {
+			end = len(src)
+		}
+		gotOff, err := asm.Add(&MemcpyStreamChunk{Seq: seq, Data: src[off:end]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotOff != off {
+			t.Fatalf("chunk %d placed at %d, want %d", seq, gotOff, off)
+		}
+		seq++
+	}
+	if !asm.Complete() {
+		t.Fatal("assembler not complete after all chunks")
+	}
+	if err := asm.Finish(&MemcpyStreamEndRequest{Chunks: Chunks(total, chunkSize)}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("reassembled %q", dst)
+	}
+}
+
+func TestChunkAssemblerRejectsProtocolViolations(t *testing.T) {
+	mk := func() *ChunkAssembler {
+		a, err := NewChunkAssembler(20, 8, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	full := bytes.Repeat([]byte{1}, 8)
+
+	if _, err := mk().Add(&MemcpyStreamChunk{Seq: 1, Data: full}); err == nil {
+		t.Fatal("out-of-order first chunk must fail")
+	}
+	a := mk()
+	if _, err := a.Add(&MemcpyStreamChunk{Seq: 0, Data: full}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Add(&MemcpyStreamChunk{Seq: 0, Data: full}); err == nil {
+		t.Fatal("duplicate chunk must fail")
+	}
+	if _, err := mk().Add(&MemcpyStreamChunk{Seq: 0, Data: full[:5]}); err == nil {
+		t.Fatal("undersized non-final chunk must fail")
+	}
+	// Final chunk must carry exactly the remainder (20 - 2*8 = 4).
+	a = mk()
+	a.Add(&MemcpyStreamChunk{Seq: 0, Data: full})
+	a.Add(&MemcpyStreamChunk{Seq: 1, Data: full})
+	if _, err := a.Add(&MemcpyStreamChunk{Seq: 2, Data: full}); err == nil {
+		t.Fatal("oversized final chunk must fail")
+	}
+	if _, err := a.Add(&MemcpyStreamChunk{Seq: 2, Data: full[:4]}); err != nil {
+		t.Fatal(err)
+	}
+	// A chunk past the declared total must fail.
+	if _, err := a.Add(&MemcpyStreamChunk{Seq: 3, Data: full}); err == nil {
+		t.Fatal("chunk past declared total must fail")
+	}
+	// Early End: out-of-order End before the stream completed.
+	early := mk()
+	early.Add(&MemcpyStreamChunk{Seq: 0, Data: full})
+	if err := early.Finish(&MemcpyStreamEndRequest{Chunks: 1}); err == nil {
+		t.Fatal("End before the declared total arrived must fail")
+	} else if !strings.Contains(err.Error(), "stream end after") {
+		t.Fatalf("unexpected early-End error: %v", err)
+	}
+	if err := a.Finish(&MemcpyStreamEndRequest{Chunks: 7}); err == nil {
+		t.Fatal("End with wrong chunk count must fail")
+	}
+	if err := a.Finish(&MemcpyStreamEndRequest{Chunks: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewChunkAssemblerRejects(t *testing.T) {
+	if _, err := NewChunkAssembler(MaxFrameSize+1, 1<<20, nil); err == nil {
+		t.Fatal("oversize total must be rejected before any allocation")
+	}
+	if _, err := NewChunkAssembler(64, 0, nil); err == nil {
+		t.Fatal("zero chunk size must fail")
+	}
+	if _, err := NewChunkAssembler(64, 16, make([]byte, 63)); err == nil {
+		t.Fatal("mis-sized destination must fail")
+	}
+}
+
+func TestChunks(t *testing.T) {
+	cases := []struct{ total, chunk, want uint32 }{
+		{0, 8, 0},
+		{1, 8, 1},
+		{8, 8, 1},
+		{9, 8, 2},
+		{64, 8, 8},
+		{64, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Chunks(c.total, c.chunk); got != c.want {
+			t.Errorf("Chunks(%d, %d) = %d, want %d", c.total, c.chunk, got, c.want)
+		}
+	}
+}

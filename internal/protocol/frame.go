@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"net"
 )
 
 // Frame header: a 4-byte little-endian payload length. The stream needs a
@@ -36,19 +37,103 @@ func WriteFrame(w io.Writer, m Message) error {
 	return err
 }
 
+// Segmented is a message whose wire form is a small fixed head, a bulk
+// payload that already exists as a caller-owned slice, and an optional
+// small tail. Such messages can be framed with vectored I/O
+// (WriteFrameBuffers) so the bulk bytes are never copied into a contiguous
+// encode buffer.
+type Segmented interface {
+	Message
+	// SegmentHead appends the fixed-size fields preceding the bulk payload.
+	SegmentHead(dst []byte) []byte
+	// SegmentBulk returns the bulk payload slice verbatim.
+	SegmentBulk() []byte
+	// SegmentTail appends the fixed-size fields following the bulk payload.
+	SegmentTail(dst []byte) []byte
+}
+
+// FrameWriter frames messages with storage reused across calls: the
+// header/head/tail encode buffer and the I/O vector both live on the writer,
+// so a steady stream of frames allocates nothing. One FrameWriter serves one
+// connection's send side; it is not safe for concurrent use.
+type FrameWriter struct {
+	scratch []byte
+	vecs    net.Buffers
+}
+
+// WriteFrame writes one length-prefixed frame like the package-level
+// WriteFrame, but when the message is Segmented it gathers the frame
+// header, head, bulk payload and tail with a single vectored write
+// (net.Buffers → writev on a TCP socket) instead of copying the bulk bytes
+// into a contiguous buffer.
+func (fw *FrameWriter) WriteFrame(w io.Writer, m Message) error {
+	seg, ok := m.(Segmented)
+	if !ok {
+		// Fall back to a contiguous single-write frame, reusing scratch.
+		buf := append(fw.scratch[:0], 0, 0, 0, 0)
+		binary.LittleEndian.PutUint32(buf, uint32(m.WireSize()))
+		buf = m.Encode(buf)
+		fw.scratch = buf[:0]
+		if len(buf) != frameHeaderSize+m.WireSize() {
+			return fmt.Errorf("protocol: %T encoded %d bytes, declared %d",
+				m, len(buf)-frameHeaderSize, m.WireSize())
+		}
+		_, err := w.Write(buf)
+		return err
+	}
+	buf := append(fw.scratch[:0], 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(buf, uint32(m.WireSize()))
+	buf = seg.SegmentHead(buf)
+	headEnd := len(buf)
+	buf = seg.SegmentTail(buf)
+	fw.scratch = buf[:0]
+	bulk := seg.SegmentBulk()
+	if got := len(buf) - frameHeaderSize + len(bulk); got != m.WireSize() {
+		return fmt.Errorf("protocol: %T segments encode %d bytes, declared %d",
+			m, got, m.WireSize())
+	}
+	vecs := append(fw.vecs[:0], buf[:headEnd])
+	if len(bulk) > 0 {
+		vecs = append(vecs, bulk)
+	}
+	if headEnd < len(buf) {
+		vecs = append(vecs, buf[headEnd:])
+	}
+	fw.vecs = vecs
+	_, err := fw.vecs.WriteTo(w) // consumes fw.vecs in place
+	// Restore the vector to its backing start and drop payload references
+	// so a finished frame does not pin the caller's bulk slice.
+	for i := range vecs {
+		vecs[i] = nil
+	}
+	fw.vecs = vecs[:0]
+	return err
+}
+
 // ReadFrame reads one length-prefixed frame and returns its payload.
 func ReadFrame(r io.Reader) ([]byte, error) {
-	var hdr [frameHeaderSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	n, err := ReadFrameHeader(r)
+	if err != nil {
 		return nil, err
-	}
-	n := binary.LittleEndian.Uint32(hdr[:])
-	if n > MaxFrameSize {
-		return nil, fmt.Errorf("protocol: frame of %d bytes exceeds limit %d", n, MaxFrameSize)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, err
 	}
 	return payload, nil
+}
+
+// ReadFrameHeader reads a frame's 4-byte length prefix and validates it,
+// leaving the reader positioned at the payload. Transports use it to read
+// the payload into a pooled buffer instead of a fresh allocation.
+func ReadFrameHeader(r io.Reader) (int, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return 0, fmt.Errorf("protocol: frame of %d bytes exceeds limit %d", n, MaxFrameSize)
+	}
+	return int(n), nil
 }

@@ -30,6 +30,9 @@ func FuzzDecodeRequest(f *testing.F) {
 		&GetDevicePropertiesRequest{},
 		&MemsetRequest{DevPtr: 1, Value: 2, Size: 3},
 		&MemcpyD2DRequest{Dst: 1, Src: 2, Size: 3},
+		&MemcpyStreamBeginRequest{Ptr: 1, Total: 64, Kind: KindHostToDevice, ChunkSize: 16},
+		&MemcpyStreamChunk{Seq: 2, Data: []byte{1, 2, 3}},
+		&MemcpyStreamEndRequest{Chunks: 4},
 	}
 	for _, s := range seeds {
 		f.Add(s.Encode(nil))
@@ -70,6 +73,70 @@ func FuzzReadFrame(f *testing.F) {
 		}
 		if len(payload) > len(raw) {
 			t.Fatalf("frame payload %d exceeds input %d", len(payload), len(raw))
+		}
+	})
+}
+
+// FuzzChunkAssembler drives a chunk assembler with an arbitrary stream of
+// decoded chunk/end messages: it must never panic, never write outside its
+// destination, and only report success when the sequence was exactly the
+// declared total in order.
+func FuzzChunkAssembler(f *testing.F) {
+	chunk := func(seq uint32, data []byte) []byte {
+		return (&MemcpyStreamChunk{Seq: seq, Data: data}).Encode(nil)
+	}
+	end := func(n uint32) []byte { return (&MemcpyStreamEndRequest{Chunks: n}).Encode(nil) }
+	f.Add(uint32(32), uint32(8), bytes.Join([][]byte{
+		chunk(0, make([]byte, 8)), chunk(1, make([]byte, 8)),
+		chunk(2, make([]byte, 8)), chunk(3, make([]byte, 8)), end(4),
+	}, nil))
+	f.Add(uint32(8), uint32(8), bytes.Join([][]byte{chunk(1, make([]byte, 8)), end(1)}, nil))
+	f.Add(uint32(16), uint32(8), bytes.Join([][]byte{chunk(0, make([]byte, 8)), end(1)}, nil))
+	f.Add(uint32(0), uint32(1), end(0))
+
+	f.Fuzz(func(t *testing.T, total, chunkSize uint32, stream []byte) {
+		if total > 1<<16 {
+			total %= 1 << 16 // keep the destination buffer small
+		}
+		if chunkSize == 0 {
+			chunkSize = 1
+		}
+		dst := make([]byte, total)
+		asm, err := NewChunkAssembler(total, chunkSize, dst)
+		if err != nil {
+			t.Fatalf("in-range parameters rejected: %v", err)
+		}
+		// Walk the byte stream as consecutive frames: each is a chunk or an
+		// end message, anything else terminates the walk.
+		covered := 0
+		for len(stream) >= 12 {
+			if Op(getU32(stream, 0)) == OpMemcpyStreamChunk {
+				size := int(getU32(stream, 8))
+				if size < 0 || 12+size > len(stream) {
+					break
+				}
+				c, err := DecodeMemcpyStreamChunk(stream[:12+size])
+				if err != nil {
+					break
+				}
+				if _, err := asm.Add(c); err == nil {
+					covered += len(c.Data)
+				}
+				stream = stream[12+size:]
+				continue
+			}
+			req, err := DecodeRequest(stream[:8])
+			e, ok := req.(*MemcpyStreamEndRequest)
+			if err != nil || !ok {
+				break
+			}
+			if asm.Finish(e) == nil && covered != int(total) {
+				t.Fatalf("Finish accepted %d of %d bytes", covered, total)
+			}
+			stream = stream[8:]
+		}
+		if asm.Complete() != (covered == int(total)) {
+			t.Fatalf("Complete()=%v, accepted %d of %d bytes", asm.Complete(), covered, total)
 		}
 	})
 }

@@ -72,6 +72,9 @@ func (o Op) String() string {
 		if name, ok := queryOpNames[o]; ok {
 			return name
 		}
+		if name, ok := chunkedOpNames[o]; ok {
+			return name
+		}
 		return fmt.Sprintf("Op(%d)", uint32(o))
 	}
 }
@@ -116,12 +119,21 @@ type InitRequest struct {
 
 // Encode implements Message.
 func (m *InitRequest) Encode(dst []byte) []byte {
-	dst = putU32(dst, uint32(len(m.Module)))
+	dst = m.SegmentHead(dst)
 	return append(dst, m.Module...)
 }
 
 // WireSize implements Message.
 func (m *InitRequest) WireSize() int { return 4 + len(m.Module) }
+
+// SegmentHead implements Segmented.
+func (m *InitRequest) SegmentHead(dst []byte) []byte { return putU32(dst, uint32(len(m.Module))) }
+
+// SegmentBulk implements Segmented.
+func (m *InitRequest) SegmentBulk() []byte { return m.Module }
+
+// SegmentTail implements Segmented.
+func (m *InitRequest) SegmentTail(dst []byte) []byte { return dst }
 
 // DecodeInitRequest parses an initialization request.
 func DecodeInitRequest(b []byte) (*InitRequest, error) {
@@ -221,16 +233,27 @@ type MemcpyToDeviceRequest struct {
 
 // Encode implements Message.
 func (m *MemcpyToDeviceRequest) Encode(dst []byte) []byte {
-	dst = putU32(dst, uint32(OpMemcpyToDevice))
-	dst = putU32(dst, m.Dst)
-	dst = putU32(dst, m.Src)
-	dst = putU32(dst, uint32(len(m.Data)))
-	dst = putU32(dst, KindHostToDevice)
+	dst = m.SegmentHead(dst)
 	return append(dst, m.Data...)
 }
 
 // WireSize implements Message.
 func (m *MemcpyToDeviceRequest) WireSize() int { return 20 + len(m.Data) }
+
+// SegmentHead implements Segmented.
+func (m *MemcpyToDeviceRequest) SegmentHead(dst []byte) []byte {
+	dst = putU32(dst, uint32(OpMemcpyToDevice))
+	dst = putU32(dst, m.Dst)
+	dst = putU32(dst, m.Src)
+	dst = putU32(dst, uint32(len(m.Data)))
+	return putU32(dst, KindHostToDevice)
+}
+
+// SegmentBulk implements Segmented.
+func (m *MemcpyToDeviceRequest) SegmentBulk() []byte { return m.Data }
+
+// SegmentTail implements Segmented.
+func (m *MemcpyToDeviceRequest) SegmentTail(dst []byte) []byte { return dst }
 
 // MemcpyToDeviceResponse carries only the result code (4 bytes).
 type MemcpyToDeviceResponse struct {
@@ -287,6 +310,15 @@ func (m *MemcpyToHostResponse) Encode(dst []byte) []byte {
 // WireSize implements Message.
 func (m *MemcpyToHostResponse) WireSize() int { return len(m.Data) + 4 }
 
+// SegmentHead implements Segmented.
+func (m *MemcpyToHostResponse) SegmentHead(dst []byte) []byte { return dst }
+
+// SegmentBulk implements Segmented.
+func (m *MemcpyToHostResponse) SegmentBulk() []byte { return m.Data }
+
+// SegmentTail implements Segmented.
+func (m *MemcpyToHostResponse) SegmentTail(dst []byte) []byte { return putU32(dst, m.Err) }
+
 // DecodeMemcpyToHostResponse parses a device-to-host memcpy response.
 func DecodeMemcpyToHostResponse(b []byte) (*MemcpyToHostResponse, error) {
 	if len(b) < 4 {
@@ -295,6 +327,28 @@ func DecodeMemcpyToHostResponse(b []byte) (*MemcpyToHostResponse, error) {
 	data := make([]byte, len(b)-4)
 	copy(data, b[:len(b)-4])
 	return &MemcpyToHostResponse{Data: data, Err: getU32(b, len(b)-4)}, nil
+}
+
+// DecodeMemcpyToHostResponseInto parses a device-to-host memcpy response,
+// copying the payload directly into dst — the caller's destination buffer —
+// with no intermediate allocation. The payload must be empty (an error
+// reply carries no data) or exactly len(dst) bytes. It returns the CUDA
+// result code; callers must inspect a nonzero code before faulting on a
+// payload-length mismatch.
+func DecodeMemcpyToHostResponseInto(b, dst []byte) (code uint32, err error) {
+	if len(b) < 4 {
+		return 0, ErrShortMessage
+	}
+	data := b[:len(b)-4]
+	code = getU32(b, len(b)-4)
+	if code != 0 && len(data) == 0 {
+		return code, nil
+	}
+	if len(data) != len(dst) {
+		return code, fmt.Errorf("protocol: memcpy-to-host payload %d bytes, want %d", len(data), len(dst))
+	}
+	copy(dst, data)
+	return code, nil
 }
 
 // --- cudaLaunch -----------------------------------------------------------
@@ -483,9 +537,10 @@ func DecodeRequest(b []byte) (Request, error) {
 		if len(b) != 20+size {
 			return nil, fmt.Errorf("protocol: memcpy size %d does not match payload %d", size, len(b)-20)
 		}
-		data := make([]byte, size)
-		copy(data, b[20:])
-		return &MemcpyToDeviceRequest{Dst: getU32(b, 4), Src: getU32(b, 8), Data: data}, nil
+		// Data aliases b so bulk payloads decode without a copy; the caller
+		// owns b until the request has been consumed (the server dispatches
+		// each request before the next Recv reuses the frame buffer).
+		return &MemcpyToDeviceRequest{Dst: getU32(b, 4), Src: getU32(b, 8), Data: b[20:]}, nil
 	case OpMemcpyToHost:
 		if len(b) != 20 {
 			return nil, ErrShortMessage

@@ -1,7 +1,5 @@
 package protocol
 
-import "fmt"
-
 // Non-blocking completion queries: cudaStreamQuery and cudaEventQuery.
 // Both are 8-byte requests (function id + handle) answered by a bare
 // result code — cudaSuccess when the work has drained, cudaErrorNotReady
@@ -33,6 +31,6 @@ func decodeQueryRequest(op Op, b []byte) (Request, error) {
 		}
 		return &EventOpRequest{Code: op, Event: getU32(b, 4)}, nil
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrBadOp, uint32(op))
+		return decodeChunkedRequest(op, b)
 	}
 }

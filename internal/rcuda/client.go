@@ -2,6 +2,7 @@ package rcuda
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"rcuda/internal/cudart"
 	"rcuda/internal/protocol"
@@ -16,11 +17,20 @@ import (
 // A Client is not safe for concurrent use by multiple goroutines: the
 // protocol is strictly synchronous request/response, matching the paper's
 // scope (asynchronous transfers are explicitly future work there).
+//
+// Close tears the session down: it sends the finalization message, closes
+// the transport, and detaches the observer. After Close — which is
+// idempotent — every Runtime method fails with cudart.ErrorInitialization,
+// mirroring how the CUDA runtime reports calls after cudaDeviceReset.
 type Client struct {
 	conn     transport.Conn
 	capMajor uint32
 	capMinor uint32
-	closed   bool
+	closed   atomic.Bool
+	// Chunked-transfer tuning; chunkThreshold 0 disables the chunked
+	// protocol entirely (the wire-compatible Table I default).
+	chunkThreshold int
+	chunkSize      uint32
 	// hooks for tracing; nil-safe.
 	observer Observer
 }
@@ -41,6 +51,32 @@ type ClientOption func(*Client)
 // WithObserver attaches a call observer.
 func WithObserver(o Observer) ClientOption {
 	return func(c *Client) { c.observer = o }
+}
+
+// DefaultChunkThreshold is the transfer size at which WithChunkedTransfers
+// switches to the chunked protocol when no explicit threshold is given:
+// four default-size chunks, below which the extra round trip of the
+// Begin acknowledgement outweighs the overlap.
+const DefaultChunkThreshold = 4 * protocol.DefaultChunkSize
+
+// WithChunkedTransfers opts in to the pipelined chunked-memcpy protocol
+// for transfers of at least threshold bytes, split into chunkSize-byte
+// chunks; the server overlaps each chunk's PCIe push with the next chunk's
+// network transfer. threshold <= 0 selects DefaultChunkThreshold and
+// chunkSize <= 0 selects protocol.DefaultChunkSize. Without this option
+// every transfer uses the classic single-frame messages, whose byte
+// accounting matches Table I of the paper.
+func WithChunkedTransfers(threshold, chunkSize int) ClientOption {
+	return func(c *Client) {
+		if threshold <= 0 {
+			threshold = DefaultChunkThreshold
+		}
+		if chunkSize <= 0 {
+			chunkSize = protocol.DefaultChunkSize
+		}
+		c.chunkThreshold = threshold
+		c.chunkSize = uint32(chunkSize)
+	}
 }
 
 // Open establishes a session: it connects the client side of the middleware
@@ -79,7 +115,7 @@ func (c *Client) observe(op protocol.Op, sent, recv int) {
 
 // roundTrip sends a request and returns the raw response payload.
 func (c *Client) roundTrip(req protocol.Request) ([]byte, error) {
-	if c.closed {
+	if c.closed.Load() {
 		return nil, cudart.ErrorInitialization
 	}
 	if err := c.conn.Send(req); err != nil {
@@ -124,6 +160,9 @@ func (c *Client) Free(ptr cudart.DevicePtr) error {
 
 // MemcpyToDevice implements cudart.Runtime.
 func (c *Client) MemcpyToDevice(dst cudart.DevicePtr, src []byte) error {
+	if c.chunkThreshold > 0 && len(src) >= c.chunkThreshold {
+		return c.memcpyToDeviceChunked(dst, src)
+	}
 	payload, err := c.roundTrip(&protocol.MemcpyToDeviceRequest{Dst: uint32(dst), Data: src})
 	if err != nil {
 		return err
@@ -135,8 +174,12 @@ func (c *Client) MemcpyToDevice(dst cudart.DevicePtr, src []byte) error {
 	return cudart.Error(resp.Err).AsError()
 }
 
-// MemcpyToHost implements cudart.Runtime.
+// MemcpyToHost implements cudart.Runtime. The response payload is decoded
+// straight into dst, so the call allocates nothing for the data itself.
 func (c *Client) MemcpyToHost(dst []byte, src cudart.DevicePtr) error {
+	if c.chunkThreshold > 0 && len(dst) >= c.chunkThreshold {
+		return c.memcpyToHostChunked(dst, src)
+	}
 	payload, err := c.roundTrip(&protocol.MemcpyToHostRequest{
 		Src:  uint32(src),
 		Size: uint32(len(dst)),
@@ -144,18 +187,11 @@ func (c *Client) MemcpyToHost(dst []byte, src cudart.DevicePtr) error {
 	if err != nil {
 		return err
 	}
-	resp, err := protocol.DecodeMemcpyToHostResponse(payload)
-	if err != nil {
-		return err
+	errCode, err := protocol.DecodeMemcpyToHostResponseInto(payload, dst)
+	if cudaErr := cudart.Error(errCode).AsError(); cudaErr != nil {
+		return cudaErr
 	}
-	if err := cudart.Error(resp.Err).AsError(); err != nil {
-		return err
-	}
-	if len(resp.Data) != len(dst) {
-		return fmt.Errorf("rcuda: memcpy returned %d bytes, want %d", len(resp.Data), len(dst))
-	}
-	copy(dst, resp.Data)
-	return nil
+	return err
 }
 
 // Launch implements cudart.Runtime.
@@ -195,18 +231,19 @@ func (c *Client) DeviceSynchronize() error {
 func (c *Client) Capability() (major, minor uint32) { return c.capMajor, c.capMinor }
 
 // Close implements cudart.Runtime: it sends the finalization message (the
-// daemon quits servicing this execution and releases its resources) and
-// closes the transport.
+// daemon quits servicing this execution and releases its resources),
+// closes the transport, and detaches the observer. It is idempotent; see
+// the Client contract for post-Close behavior.
 func (c *Client) Close() error {
-	if c.closed {
+	if !c.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	c.closed = true
 	req := &protocol.FinalizeRequest{}
 	sendErr := c.conn.Send(req)
 	if sendErr == nil {
 		c.observe(protocol.OpFinalize, req.WireSize(), 0)
 	}
+	c.observer = nil
 	closeErr := c.conn.Close()
 	if sendErr != nil {
 		return sendErr

@@ -277,8 +277,16 @@ func (s *Server) dispatch(conn transport.Conn, sess *session, req protocol.Reque
 		opErr := ctx.CopyToDevice(r.Dst, r.Data)
 		return false, conn.Send(&protocol.MemcpyToDeviceResponse{Err: code(opErr)})
 	case *protocol.MemcpyToHostRequest:
-		data, opErr := ctx.CopyToHost(r.Src, r.Size)
-		return false, conn.Send(&protocol.MemcpyToHostResponse{Data: data, Err: code(opErr)})
+		buf, _ := transport.GetBuffer(int(r.Size))
+		buf = buf[:r.Size]
+		opErr := ctx.CopyToHostInto(buf, r.Src)
+		if opErr != nil {
+			transport.PutBuffer(buf)
+			return false, conn.Send(&protocol.MemcpyToHostResponse{Err: code(opErr)})
+		}
+		sendErr := conn.Send(&protocol.MemcpyToHostResponse{Data: buf})
+		transport.PutBuffer(buf)
+		return false, sendErr
 	case *protocol.LaunchRequest:
 		grid := gpu.Dim3{X: r.GridDim[0], Y: r.GridDim[1], Z: 1}
 		block := gpu.Dim3{X: r.BlockDim[0], Y: r.BlockDim[1], Z: r.BlockDim[2]}
@@ -296,6 +304,9 @@ func (s *Server) dispatch(conn transport.Conn, sess *session, req protocol.Reque
 			return false, err
 		}
 		if handled, err := s.dispatchDevice(conn, sess, req); handled {
+			return false, err
+		}
+		if handled, err := s.dispatchChunked(conn, sess, req); handled {
 			return false, err
 		}
 		return false, fmt.Errorf("rcuda: unhandled request %T", req)

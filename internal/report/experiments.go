@@ -8,8 +8,14 @@ import (
 
 	"rcuda/internal/calib"
 	"rcuda/internal/contention"
+	"rcuda/internal/gpu"
+	"rcuda/internal/kernels"
 	"rcuda/internal/netsim"
 	"rcuda/internal/perfmodel"
+	"rcuda/internal/protocol"
+	"rcuda/internal/rcuda"
+	"rcuda/internal/transport"
+	"rcuda/internal/vclock"
 	"rcuda/internal/workload"
 )
 
@@ -113,7 +119,79 @@ func (c Config) expExtensions(sb *strings.Builder) error {
   for the FFT — the paper's last future-work item, quantified.
 
 `, shared.PerClient[3].Seconds()/lone.PerClient[0].Seconds(), shared.GPUUtilization*100)
+
+	// Chunked memcpy pipeline (BenchmarkMemcpyPipeline): run one large copy
+	// through the real middleware over the simulated links, with and without
+	// the chunked protocol, and report the modeled times.
+	fastLegacy, fastChunked, err := chunkedMemcpyTimes(netsim.IB40G())
+	if err != nil {
+		return err
+	}
+	slowLegacy, slowChunked, err := chunkedMemcpyTimes(netsim.GigaE())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sb, `- **Chunked memcpy pipeline (BenchmarkMemcpyPipeline)**: a cudaMemcpy above
+  a threshold can stream as ~1 MiB chunks so the server overlaps receiving
+  chunk k+1 with pushing chunk k across PCIe. A 64 MiB host-to-device copy
+  on 40GI drops from %.1f to %.1f sim-ms (%.0f%% faster, approaching
+  max(wire, PCIe) instead of their sum); on GigaE the same copy *rises*
+  from %.0f to %.0f sim-ms because every chunk pays the TCP-window excess
+  one large frame amortizes — so chunking is opt-in
+  (rcuda.WithChunkedTransfers) and the default wire format is unchanged.
+  On a real socket the pooled zero-copy framing that carries the chunks
+  also cuts the legacy path's allocations per round trip by ~74%%.
+
+`, simMS(fastLegacy), simMS(fastChunked),
+		(1-fastChunked.Seconds()/fastLegacy.Seconds())*100,
+		simMS(slowLegacy), simMS(slowChunked))
 	return nil
+}
+
+func simMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// chunkedMemcpyTimes measures one 64 MiB MemcpyToDevice through the full
+// client/server middleware over the given simulated link, first with the
+// paper's single-frame protocol and then with chunked transfers enabled.
+// The setup mirrors BenchmarkMemcpyPipeline's sim sub-benchmarks.
+func chunkedMemcpyTimes(link *netsim.Link) (legacy, chunked time.Duration, err error) {
+	mod, err := kernels.ModuleFor(calib.MM)
+	if err != nil {
+		return 0, 0, err
+	}
+	img, err := mod.Binary()
+	if err != nil {
+		return 0, 0, err
+	}
+	const size = 64 << 20
+	run := func(opts ...rcuda.ClientOption) (time.Duration, error) {
+		clk := vclock.NewSim()
+		dev := gpu.New(gpu.Config{Clock: clk})
+		srv := rcuda.NewServer(dev)
+		cliEnd, srvEnd := transport.Pipe(link, clk, nil)
+		go func() { _ = srv.ServeConn(srvEnd) }()
+		client, err := rcuda.Open(cliEnd, img, opts...)
+		if err != nil {
+			return 0, err
+		}
+		defer client.Close()
+		ptr, err := client.Malloc(size)
+		if err != nil {
+			return 0, err
+		}
+		start := clk.Now()
+		if err := client.MemcpyToDevice(ptr, make([]byte, size)); err != nil {
+			return 0, err
+		}
+		return clk.Now() - start, nil
+	}
+	if legacy, err = run(); err != nil {
+		return 0, 0, err
+	}
+	if chunked, err = run(rcuda.WithChunkedTransfers(1, protocol.DefaultChunkSize)); err != nil {
+		return 0, 0, err
+	}
+	return legacy, chunked, nil
 }
 
 func (c Config) expTableI(sb *strings.Builder) {

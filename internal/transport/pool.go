@@ -1,0 +1,72 @@
+package transport
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Frame-buffer pool shared by every connection in the process. Frames are
+// the hot allocation of the data path — one per message in each direction —
+// and memcpy payloads make them large, so recycling them removes nearly all
+// steady-state garbage from the middleware. Buffers are bucketed by
+// power-of-two capacity so a request for n bytes reuses any buffer of the
+// next class up.
+const (
+	minPoolClass = 6  // 64 B — below this, pooling costs more than it saves
+	maxPoolClass = 26 // 64 MiB — beyond this, let the GC handle it
+)
+
+var framePools [maxPoolClass - minPoolClass + 1]sync.Pool
+
+// holderPool recycles the *[]byte boxes the frame pools store. Pooling the
+// box keeps Get/Put allocation-free in steady state: a pointer moves in and
+// out of a sync.Pool without boxing, whereas a bare slice header would be
+// re-boxed (one allocation) on every Put.
+var holderPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// poolClass returns the bucket index for a buffer of n bytes, or -1 when n
+// is too large to pool.
+func poolClass(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if c < minPoolClass {
+		c = minPoolClass
+	}
+	if c > maxPoolClass {
+		return -1
+	}
+	return c - minPoolClass
+}
+
+// GetBuffer returns a zero-length buffer with capacity at least n, reusing
+// a pooled one when available. hit reports whether the pool had one.
+func GetBuffer(n int) (buf []byte, hit bool) {
+	c := poolClass(n)
+	if c < 0 {
+		return make([]byte, 0, n), false
+	}
+	if v := framePools[c].Get(); v != nil {
+		h := v.(*[]byte)
+		b := *h
+		*h = nil
+		holderPool.Put(h)
+		return b[:0], true
+	}
+	return make([]byte, 0, 1<<(c+minPoolClass)), false
+}
+
+// PutBuffer recycles a buffer obtained from GetBuffer (or any buffer the
+// caller no longer needs). Oversize and undersize buffers are dropped.
+func PutBuffer(b []byte) {
+	c := poolClass(cap(b))
+	if c < 0 || cap(b) < 1<<(c+minPoolClass) {
+		// A buffer smaller than its class's floor would under-serve the
+		// next Get of that class; only perfectly-classed buffers go back.
+		return
+	}
+	h := holderPool.Get().(*[]byte)
+	*h = b[:0]
+	framePools[c].Put(h)
+}

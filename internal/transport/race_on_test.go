@@ -1,0 +1,7 @@
+//go:build race
+
+package transport
+
+// Under the race detector sync.Pool deliberately drops a fraction of Puts
+// to shake out races, so steady-state recycling cannot be asserted exactly.
+const raceDetectorEnabled = true

@@ -17,8 +17,11 @@
 package transport
 
 import (
+	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -34,7 +37,9 @@ type Conn interface {
 	// Send transmits one protocol message.
 	Send(m protocol.Message) error
 	// Recv blocks for the next incoming message payload. It returns
-	// io.EOF after the peer closes.
+	// io.EOF after the peer closes. The returned slice may reuse pooled
+	// storage and is only valid until the next Recv on this connection;
+	// callers that keep payload bytes longer must copy them out.
 	Recv() ([]byte, error)
 	// Close releases the connection. Safe to call more than once.
 	Close() error
@@ -42,18 +47,42 @@ type Conn interface {
 	Stats() Stats
 }
 
-// Stats counts a connection's traffic in Table I payload bytes.
+// TimedReceiver is implemented by connections that can report when each
+// message arrived on the connection's clock. The chunked-memcpy server
+// books PCIe pushes at the chunk's arrival instant so network and PCIe
+// stages overlap deterministically on the simulated clock.
+type TimedReceiver interface {
+	// RecvTimed is Recv plus the message's arrival instant.
+	RecvTimed() ([]byte, time.Duration, error)
+}
+
+// ScheduledSender is implemented by connections that can hold a message
+// until an instant on the connection's clock. The chunked-memcpy server
+// streams device-to-host chunks at their modeled PCIe-completion times.
+type ScheduledSender interface {
+	// SendAt advances the connection's clock to notBefore (never backwards)
+	// and then sends as usual.
+	SendAt(m protocol.Message, notBefore time.Duration) error
+}
+
+// Stats counts a connection's traffic in Table I payload bytes, plus the
+// frame-buffer pool's effectiveness on this connection.
 type Stats struct {
 	MessagesSent int64
 	MessagesRecv int64
 	BytesSent    int64
 	BytesRecv    int64
+	// PoolHits and PoolMisses count frame-buffer requests served from the
+	// pool versus freshly allocated (sends and receives combined).
+	PoolHits   int64
+	PoolMisses int64
 }
 
 // counters is embedded by implementations; all fields are atomics.
 type counters struct {
 	msgsSent, msgsRecv   atomic.Int64
 	bytesSent, bytesRecv atomic.Int64
+	poolHits, poolMisses atomic.Int64
 }
 
 func (c *counters) onSend(n int) {
@@ -66,22 +95,40 @@ func (c *counters) onRecv(n int) {
 	c.bytesRecv.Add(int64(n))
 }
 
+func (c *counters) onPool(hit bool) {
+	if hit {
+		c.poolHits.Add(1)
+	} else {
+		c.poolMisses.Add(1)
+	}
+}
+
 func (c *counters) Stats() Stats {
 	return Stats{
 		MessagesSent: c.msgsSent.Load(),
 		MessagesRecv: c.msgsRecv.Load(),
 		BytesSent:    c.bytesSent.Load(),
 		BytesRecv:    c.bytesRecv.Load(),
+		PoolHits:     c.poolHits.Load(),
+		PoolMisses:   c.poolMisses.Load(),
 	}
 }
 
 // --- TCP ---------------------------------------------------------------------
 
-// TCPConn is a Conn over a real socket.
+// frameHeaderSize mirrors the protocol package's length prefix.
+const frameHeaderSize = 4
+
+// TCPConn is a Conn over a real socket. Like the protocol it carries, it
+// is half-duplex per direction: one goroutine sending and one receiving.
 type TCPConn struct {
 	counters
 	c         net.Conn
+	br        *bufio.Reader
 	opTimeout atomic.Int64 // nanoseconds; 0 disables deadlines
+
+	fw       protocol.FrameWriter // send-side framing state, reused across Sends
+	lastRecv []byte               // previous Recv's pooled payload, recycled on the next Recv
 }
 
 var _ Conn = (*TCPConn)(nil)
@@ -104,7 +151,7 @@ func NewTCPConn(c net.Conn) *TCPConn {
 		// middleware must not depend on it.)
 		_ = tc.SetNoDelay(true)
 	}
-	return &TCPConn{c: c}
+	return &TCPConn{c: c, br: bufio.NewReaderSize(c, 1<<16)}
 }
 
 // SetOpTimeout bounds every subsequent Send and Recv individually; a hung
@@ -128,29 +175,54 @@ func (t *TCPConn) armDeadline(set func(time.Time) error) error {
 	return set(time.Now().Add(d))
 }
 
-// Send implements Conn.
+// Send implements Conn. Segmented messages (bulk memcpy payloads) are
+// gathered with a single vectored write — the payload bytes go from the
+// caller's slice to the socket without an intermediate copy; everything
+// else is framed into a reused scratch buffer.
 func (t *TCPConn) Send(m protocol.Message) error {
 	if err := t.armDeadline(t.c.SetWriteDeadline); err != nil {
 		return err
 	}
-	if err := protocol.WriteFrame(t.c, m); err != nil {
+	if err := t.fw.WriteFrame(t.c, m); err != nil {
 		return err
 	}
 	t.onSend(m.WireSize())
 	return nil
 }
 
-// Recv implements Conn.
+// Recv implements Conn. The payload is read into a pooled buffer that is
+// recycled on the next Recv — see the Conn contract.
 func (t *TCPConn) Recv() ([]byte, error) {
 	if err := t.armDeadline(t.c.SetReadDeadline); err != nil {
 		return nil, err
 	}
-	payload, err := protocol.ReadFrame(t.c)
+	if t.lastRecv != nil {
+		PutBuffer(t.lastRecv)
+		t.lastRecv = nil
+	}
+	// Peek the header through bufio instead of protocol.ReadFrameHeader:
+	// reading into a local array through the io.Reader interface would make
+	// the array escape, one allocation per message.
+	hdr, err := t.br.Peek(frameHeaderSize)
 	if err != nil {
 		return nil, err
 	}
-	t.onRecv(len(payload))
-	return payload, nil
+	n := int(binary.LittleEndian.Uint32(hdr))
+	if n > protocol.MaxFrameSize {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit %d", n, protocol.MaxFrameSize)
+	}
+	if _, err := t.br.Discard(frameHeaderSize); err != nil {
+		return nil, err
+	}
+	buf, hit := GetBuffer(n)
+	t.onPool(hit)
+	buf = buf[:n]
+	if _, err := io.ReadFull(t.br, buf); err != nil {
+		return nil, err
+	}
+	t.lastRecv = buf
+	t.onRecv(n)
+	return buf, nil
 }
 
 // Close implements Conn.
@@ -165,28 +237,44 @@ var ErrClosed = errors.New("transport: connection closed")
 // strictly request/response, so even a small buffer never blocks.
 const pipeBuffer = 16
 
-// PipeEnd is one end of a simulated connection.
+// pipeMsg is one in-flight message: its encoded payload plus the clock
+// instant its network transfer completed. The arrival stamp is recorded by
+// the sender — the client races ahead of the server when streaming chunks,
+// so reading the clock at receive time would observe a later (and
+// scheduling-dependent) instant.
+type pipeMsg struct {
+	payload []byte
+	at      time.Duration
+}
+
+// PipeEnd is one end of a simulated connection. Like TCPConn it is
+// half-duplex per direction: one goroutine sending, one receiving.
 type PipeEnd struct {
 	counters
 	link      *netsim.Link
 	clock     vclock.Clock
 	noise     *netsim.Noise
-	out       chan []byte
-	in        chan []byte
+	out       chan pipeMsg
+	in        chan pipeMsg
 	done      chan struct{}
 	closeOnce *sync.Once
 	peer      *PipeEnd
+	lastRecv  []byte // previous Recv's pooled payload, recycled on the next Recv
 }
 
-var _ Conn = (*PipeEnd)(nil)
+var (
+	_ Conn            = (*PipeEnd)(nil)
+	_ TimedReceiver   = (*PipeEnd)(nil)
+	_ ScheduledSender = (*PipeEnd)(nil)
+)
 
 // Pipe creates a connected pair of simulated connection ends over the given
 // interconnect. Every Send advances the shared clock by the link's modeled
 // wire time for the message's payload size (perturbed by noise, which may
 // be nil), then delivers the payload to the peer.
 func Pipe(link *netsim.Link, clock vclock.Clock, noise *netsim.Noise) (client, server *PipeEnd) {
-	ab := make(chan []byte, pipeBuffer)
-	ba := make(chan []byte, pipeBuffer)
+	ab := make(chan pipeMsg, pipeBuffer)
+	ba := make(chan pipeMsg, pipeBuffer)
 	done := make(chan struct{})
 	once := new(sync.Once)
 	a := &PipeEnd{link: link, clock: clock, noise: noise, out: ab, in: ba, done: done, closeOnce: once}
@@ -196,9 +284,12 @@ func Pipe(link *netsim.Link, clock vclock.Clock, noise *netsim.Noise) (client, s
 }
 
 // Send implements Conn: it charges the modeled one-way wire latency on the
-// shared clock and enqueues the payload at the peer.
+// shared clock and enqueues the payload at the peer, stamped with its
+// arrival instant.
 func (p *PipeEnd) Send(m protocol.Message) error {
-	payload := m.Encode(make([]byte, 0, m.WireSize()))
+	buf, hit := GetBuffer(m.WireSize())
+	p.onPool(hit)
+	payload := m.Encode(buf)
 	if len(payload) != m.WireSize() {
 		return fmt.Errorf("transport: %T encoded %d bytes, declared %d", m, len(payload), m.WireSize())
 	}
@@ -213,7 +304,7 @@ func (p *PipeEnd) Send(m protocol.Message) error {
 	}
 	p.clock.Sleep(wire)
 	select {
-	case p.out <- payload:
+	case p.out <- pipeMsg{payload: payload, at: p.clock.Now()}:
 		p.onSend(len(payload))
 		return nil
 	case <-p.done:
@@ -221,20 +312,51 @@ func (p *PipeEnd) Send(m protocol.Message) error {
 	}
 }
 
-// Recv implements Conn.
+// advancer is the optional clock capability SendAt needs; vclock.Sim has
+// it, wall clocks do not (real time cannot be jumped forward).
+type advancer interface {
+	AdvanceTo(t time.Duration)
+}
+
+// SendAt implements ScheduledSender: it first moves the clock forward to
+// notBefore (a no-op if already past, or if the clock cannot jump) and then
+// sends as usual, so the message's wire transfer is modeled as starting no
+// earlier than notBefore.
+func (p *PipeEnd) SendAt(m protocol.Message, notBefore time.Duration) error {
+	if adv, ok := p.clock.(advancer); ok {
+		adv.AdvanceTo(notBefore)
+	}
+	return p.Send(m)
+}
+
+// Recv implements Conn; see RecvTimed.
 func (p *PipeEnd) Recv() ([]byte, error) {
+	payload, _, err := p.RecvTimed()
+	return payload, err
+}
+
+// RecvTimed implements TimedReceiver. The payload occupies a pooled buffer
+// that is recycled on the next receive — see the Conn contract.
+func (p *PipeEnd) RecvTimed() ([]byte, time.Duration, error) {
+	if p.lastRecv != nil {
+		PutBuffer(p.lastRecv)
+		p.lastRecv = nil
+	}
+	deliver := func(msg pipeMsg) ([]byte, time.Duration, error) {
+		p.lastRecv = msg.payload
+		p.onRecv(len(msg.payload))
+		return msg.payload, msg.at, nil
+	}
 	select {
-	case payload := <-p.in:
-		p.onRecv(len(payload))
-		return payload, nil
+	case msg := <-p.in:
+		return deliver(msg)
 	case <-p.done:
 		// Drain anything that raced with Close so shutdown is orderly.
 		select {
-		case payload := <-p.in:
-			p.onRecv(len(payload))
-			return payload, nil
+		case msg := <-p.in:
+			return deliver(msg)
 		default:
-			return nil, errClosedEOF()
+			return nil, 0, errClosedEOF()
 		}
 	}
 }

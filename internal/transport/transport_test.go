@@ -252,6 +252,150 @@ func TestPipeLink(t *testing.T) {
 	}
 }
 
+// TestTCPMidFrameStallTimeout covers the nastier stall: the peer sends a
+// frame header promising a payload and then goes silent, so the deadline
+// must fire during the buffered body read, not just while waiting for the
+// header.
+func TestTCPMidFrameStallTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		// A 4-byte header declaring a 4 KiB payload that never comes.
+		if _, err := c.Write([]byte{0x00, 0x10, 0x00, 0x00}); err != nil {
+			return
+		}
+		time.Sleep(2 * time.Second)
+	}()
+
+	cli, err := DialTCP(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SetOpTimeout(50 * time.Millisecond)
+
+	start := time.Now()
+	_, err = cli.Recv()
+	if err == nil {
+		t.Fatal("Recv of a half-sent frame must time out")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("got %v, want a timeout error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 1*time.Second {
+		t.Fatalf("timeout took %v, want ~50ms", elapsed)
+	}
+}
+
+// TestTCPSendTimeout stalls the receive side until the kernel socket
+// buffers fill, so a bulk vectored Send must surface the deadline instead
+// of blocking forever.
+func TestTCPSendTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c // never read from it
+		}
+	}()
+
+	cli, err := DialTCP(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if tc, ok := cli.c.(*net.TCPConn); ok {
+		_ = tc.SetWriteBuffer(4 << 10) // keep the kernel's slack small
+	}
+	cli.SetOpTimeout(100 * time.Millisecond)
+
+	// With nobody reading, repeated bulk sends must eventually block on a
+	// full socket buffer and trip the write deadline.
+	data := bytes.Repeat([]byte{3}, 4<<20)
+	var sendErr error
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if sendErr = cli.Send(&protocol.MemcpyToDeviceRequest{Dst: 0x100, Data: data}); sendErr != nil {
+			break
+		}
+	}
+	if sendErr == nil {
+		t.Fatal("Send never blocked against a stalled reader")
+	}
+	var nerr net.Error
+	if !errors.As(sendErr, &nerr) || !nerr.Timeout() {
+		t.Fatalf("got %v, want a timeout error", sendErr)
+	}
+	srv := <-accepted
+	srv.Close()
+}
+
+// TestTCPPoolStats checks that steady-state traffic is served from the
+// frame-buffer pool: the first request of a class may miss, every recycled
+// round after that must hit.
+func TestTCPPoolStats(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		srv := NewTCPConn(c)
+		defer srv.Close()
+		for {
+			if _, err := srv.Recv(); err != nil {
+				return
+			}
+			if err := srv.Send(&protocol.SyncResponse{}); err != nil {
+				return
+			}
+		}
+	}()
+
+	cli, err := DialTCP(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	const rounds = 8
+	for i := 0; i < rounds; i++ {
+		if err := cli.Send(&protocol.SyncRequest{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cli.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cli.Stats()
+	// One pool request per Recv (the send side reuses FrameWriter storage).
+	if got := st.PoolHits + st.PoolMisses; got != rounds {
+		t.Fatalf("pool requests = %d, want %d (stats %+v)", got, rounds, st)
+	}
+	// The race detector's sync.Pool drops Puts at random, so only assert
+	// strict steady-state recycling in a normal build.
+	if !raceDetectorEnabled && st.PoolHits < rounds-1 {
+		t.Fatalf("steady state must recycle: %+v", st)
+	}
+}
+
 func TestTCPOpTimeout(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
