@@ -3,9 +3,24 @@
 
 GO ?= go
 
-.PHONY: all build test race verify bench fuzz repro figures experiments clean
+.PHONY: all build test race verify chaos soak bench fuzz repro figures experiments clean help
 
 all: build test
+
+help:
+	@echo "Targets:"
+	@echo "  build        compile and vet everything"
+	@echo "  test         run all tests"
+	@echo "  race         run all tests under the race detector"
+	@echo "  verify       tier-1 gate: build + test + race on data path + chaos suite"
+	@echo "  chaos        fault-injection suite (scripted + 50 seeded plans) under -race"
+	@echo "  soak         10k mixed ops at ~1% fault rate, leak-checked, under -race"
+	@echo "  bench        run all benchmarks"
+	@echo "  fuzz         short fuzzing pass over the wire-protocol decoders"
+	@echo "  repro        regenerate every table and figure of the paper on stdout"
+	@echo "  figures      render the figures as SVGs under figs/"
+	@echo "  experiments  refresh EXPERIMENTS.md"
+	@echo "  clean        remove figs/ and the test cache"
 
 build:
 	$(GO) build ./...
@@ -17,10 +32,25 @@ test:
 race:
 	$(GO) test -race -count=1 ./...
 
-# Tier-1 verification: full build + tests, plus the concurrent data-path
-# packages (transport framing, middleware streaming) under the race detector.
-verify: build test
+# Tier-1 verification: full build + tests, the concurrent data-path packages
+# (transport framing, middleware streaming) under the race detector, and the
+# deterministic fault-injection suite.
+verify: build test chaos
 	$(GO) test -race ./internal/transport/... ./internal/rcuda/...
+
+# Chaos suite: every fault kind's transport semantics, the retry policy, and
+# the MM/FFT case studies under scripted and 50 consecutive seeded fault
+# plans — results must be bit-exact after recovery. -count=1 defeats the
+# test cache so the seeds actually rerun.
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'Chaos|Faulty|Fault|Retry|Truncat|Reattach|Session|Plan|KeepFor' \
+		./internal/transport/... ./internal/rcuda/... ./internal/faults/...
+
+# Soak: 10k mixed operations through a ~1% seeded fault rate, then a
+# goroutine-leak check. Skipped by -short runs; takes ~10-30s under -race.
+soak:
+	$(GO) test -race -count=1 -run 'Soak' -timeout 10m ./internal/rcuda/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -458,11 +458,8 @@ func BenchmarkMemcpyPipeline(b *testing.B) {
 	const size = 64 << 20
 
 	for _, link := range []*netsim.Link{netsim.GigaE(), netsim.IB40G()} {
-		for _, chunked := range []bool{false, true} {
-			mode := "legacy"
-			if chunked {
-				mode = "chunked"
-			}
+		for _, mode := range []string{"legacy", "chunked", "chunked+retry"} {
+			mode := mode
 			b.Run("sim/"+link.Name()+"/"+mode, func(b *testing.B) {
 				clk := vclock.NewSim()
 				dev := gpu.New(gpu.Config{Clock: clk})
@@ -470,8 +467,19 @@ func BenchmarkMemcpyPipeline(b *testing.B) {
 				cliEnd, srvEnd := transport.Pipe(link, clk, nil)
 				go func() { _ = srv.ServeConn(srvEnd) }()
 				var opts []mw.ClientOption
-				if chunked {
+				if mode != "legacy" {
 					opts = append(opts, mw.WithChunkedTransfers(1, protocol.DefaultChunkSize))
+				}
+				if mode == "chunked+retry" {
+					// Measures the retry engine's bookkeeping on a
+					// fault-free path; the dialer is never invoked.
+					opts = append(opts,
+						mw.WithRetry(4, 200*time.Microsecond),
+						mw.WithReconnect(func() (transport.Conn, error) {
+							c2, s2 := transport.Pipe(link, clk, nil)
+							go func() { _ = srv.ServeConn(s2) }()
+							return c2, nil
+						}))
 				}
 				client, err := mw.Open(cliEnd, img, opts...)
 				if err != nil {
@@ -501,11 +509,8 @@ func BenchmarkMemcpyPipeline(b *testing.B) {
 	// 16 MiB keeps payload+framing within the buffer pool's largest class;
 	// beyond it the frames fall back to the GC as designed.
 	const tcpSize = 16 << 20
-	for _, chunked := range []bool{false, true} {
-		mode := "legacy"
-		if chunked {
-			mode = "chunked"
-		}
+	for _, mode := range []string{"legacy", "chunked", "chunked+retry"} {
+		mode := mode
 		b.Run("tcp/"+mode, func(b *testing.B) {
 			dev := gpu.New(gpu.Config{Clock: vclock.NewSim()})
 			srv := mw.NewServer(dev)
@@ -520,8 +525,14 @@ func BenchmarkMemcpyPipeline(b *testing.B) {
 				b.Fatal(err)
 			}
 			var opts []mw.ClientOption
-			if chunked {
+			if mode != "legacy" {
 				opts = append(opts, mw.WithChunkedTransfers(1, protocol.DefaultChunkSize))
+			}
+			if mode == "chunked+retry" {
+				addr := ln.Addr().String()
+				opts = append(opts,
+					mw.WithRetry(4, 200*time.Microsecond),
+					mw.WithReconnect(func() (transport.Conn, error) { return transport.DialTCP(addr) }))
 			}
 			client, err := mw.Open(conn, img, opts...)
 			if err != nil {

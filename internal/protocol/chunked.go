@@ -224,7 +224,7 @@ func decodeChunkedRequest(op Op, b []byte) (Request, error) {
 		}
 		return &MemcpyStreamEndRequest{Chunks: getU32(b, 4)}, nil
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrBadOp, uint32(op))
+		return decodeSessionRequest(op, b)
 	}
 }
 

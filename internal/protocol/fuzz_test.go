@@ -33,9 +33,18 @@ func FuzzDecodeRequest(f *testing.F) {
 		&MemcpyStreamBeginRequest{Ptr: 1, Total: 64, Kind: KindHostToDevice, ChunkSize: 16},
 		&MemcpyStreamChunk{Seq: 2, Data: []byte{1, 2, 3}},
 		&MemcpyStreamEndRequest{Chunks: 4},
+		&SessionHelloRequest{},
+		&ReattachRequest{Session: 7},
 	}
 	for _, s := range seeds {
-		f.Add(s.Encode(nil))
+		full := s.Encode(nil)
+		f.Add(full)
+		// Truncated prefixes model frames cut mid-payload by a fault; the
+		// decoder must reject them without panicking.
+		f.Add(full[:len(full)/2])
+		if len(full) > 1 {
+			f.Add(full[:len(full)-1])
+		}
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})

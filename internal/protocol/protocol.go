@@ -75,6 +75,9 @@ func (o Op) String() string {
 		if name, ok := chunkedOpNames[o]; ok {
 			return name
 		}
+		if name, ok := sessionOpNames[o]; ok {
+			return name
+		}
 		return fmt.Sprintf("Op(%d)", uint32(o))
 	}
 }

@@ -2,7 +2,9 @@ package rcuda
 
 import (
 	"fmt"
+	"math/rand"
 	"sync/atomic"
+	"time"
 
 	"rcuda/internal/cudart"
 	"rcuda/internal/protocol"
@@ -33,6 +35,18 @@ type Client struct {
 	chunkSize      uint32
 	// hooks for tracing; nil-safe.
 	observer Observer
+	// Retry/reconnect policy (see WithRetry and WithReconnect). The
+	// mutable connection state shares the Client's single-goroutine
+	// contract; only the counters are read concurrently via Stats.
+	retryMax     int
+	retryBackoff time.Duration
+	retryRNG     *rand.Rand
+	dial         func() (transport.Conn, error)
+	sessionID    uint64
+	durable      bool
+	connBroken   bool
+	lost         bool
+	cstats       clientCounters
 }
 
 var _ cudart.Runtime = (*Client)(nil)
@@ -83,7 +97,9 @@ func WithChunkedTransfers(threshold, chunkSize int) ClientOption {
 // over an existing transport connection and performs the initialization
 // exchange, locating and sending the application's GPU module.
 func Open(conn transport.Conn, module []byte, opts ...ClientOption) (*Client, error) {
-	c := &Client{conn: conn}
+	// The jitter source is seeded, not time-derived, so a fault scenario
+	// replays with identical backoff decisions.
+	c := &Client{conn: conn, retryRNG: rand.New(rand.NewSource(1))}
 	for _, o := range opts {
 		o(c)
 	}
@@ -104,7 +120,37 @@ func Open(conn transport.Conn, module []byte, opts ...ClientOption) (*Client, er
 		return nil, fmt.Errorf("rcuda: server rejected initialization: %w", err)
 	}
 	c.capMajor, c.capMinor = resp.CapabilityMajor, resp.CapabilityMinor
+	if c.dial != nil {
+		if err := c.helloDurable(); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
+}
+
+// helloDurable upgrades the freshly initialized session to a durable one
+// so a later reconnect can reattach to it. It runs on the still-healthy
+// initial connection and is not itself retried.
+func (c *Client) helloDurable() error {
+	hello := &protocol.SessionHelloRequest{}
+	if err := c.conn.Send(hello); err != nil {
+		return fmt.Errorf("rcuda: session hello send: %w", err)
+	}
+	payload, err := c.conn.Recv()
+	if err != nil {
+		return fmt.Errorf("rcuda: session hello recv: %w", err)
+	}
+	resp, err := protocol.DecodeSessionHelloResponse(payload)
+	if err != nil {
+		return fmt.Errorf("rcuda: session hello decode: %w", err)
+	}
+	c.observe(protocol.OpSessionHello, hello.WireSize(), len(payload))
+	if refuse := cudart.Error(resp.Err).AsError(); refuse != nil {
+		return fmt.Errorf("rcuda: server refused durable session: %w", refuse)
+	}
+	c.sessionID = resp.Session
+	c.durable = true
+	return nil
 }
 
 func (c *Client) observe(op protocol.Op, sent, recv int) {
@@ -113,17 +159,28 @@ func (c *Client) observe(op protocol.Op, sent, recv int) {
 	}
 }
 
-// roundTrip sends a request and returns the raw response payload.
+// roundTrip sends a request and returns the raw response payload. The
+// exchange runs under the retry policy: a connection fault mid-exchange
+// re-runs the whole request on a replacement connection when the
+// operation is idempotent.
 func (c *Client) roundTrip(req protocol.Request) ([]byte, error) {
 	if c.closed.Load() {
 		return nil, cudart.ErrorInitialization
 	}
-	if err := c.conn.Send(req); err != nil {
-		return nil, fmt.Errorf("rcuda: %v send: %w", req.Op(), err)
-	}
-	payload, err := c.conn.Recv()
+	var payload []byte
+	err := c.runRetry(req.Op(), func() error {
+		if err := c.conn.Send(req); err != nil {
+			return fmt.Errorf("rcuda: %v send: %w", req.Op(), err)
+		}
+		p, err := c.conn.Recv()
+		if err != nil {
+			return fmt.Errorf("rcuda: %v recv: %w", req.Op(), err)
+		}
+		payload = p
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("rcuda: %v recv: %w", req.Op(), err)
+		return nil, err
 	}
 	c.observe(req.Op(), req.WireSize(), len(payload))
 	return payload, nil
@@ -161,7 +218,11 @@ func (c *Client) Free(ptr cudart.DevicePtr) error {
 // MemcpyToDevice implements cudart.Runtime.
 func (c *Client) MemcpyToDevice(dst cudart.DevicePtr, src []byte) error {
 	if c.chunkThreshold > 0 && len(src) >= c.chunkThreshold {
-		return c.memcpyToDeviceChunked(dst, src)
+		// Retry restarts the whole transfer from Begin: the server-side
+		// rewrite of the same bytes to the same region is idempotent.
+		return c.runRetry(protocol.OpMemcpyToDevice, func() error {
+			return c.memcpyToDeviceChunked(dst, src)
+		})
 	}
 	payload, err := c.roundTrip(&protocol.MemcpyToDeviceRequest{Dst: uint32(dst), Data: src})
 	if err != nil {
@@ -178,7 +239,9 @@ func (c *Client) MemcpyToDevice(dst cudart.DevicePtr, src []byte) error {
 // straight into dst, so the call allocates nothing for the data itself.
 func (c *Client) MemcpyToHost(dst []byte, src cudart.DevicePtr) error {
 	if c.chunkThreshold > 0 && len(dst) >= c.chunkThreshold {
-		return c.memcpyToHostChunked(dst, src)
+		return c.runRetry(protocol.OpMemcpyToHost, func() error {
+			return c.memcpyToHostChunked(dst, src)
+		})
 	}
 	payload, err := c.roundTrip(&protocol.MemcpyToHostRequest{
 		Src:  uint32(src),
@@ -237,6 +300,15 @@ func (c *Client) Capability() (major, minor uint32) { return c.capMajor, c.capMi
 func (c *Client) Close() error {
 	if !c.closed.CompareAndSwap(false, true) {
 		return nil
+	}
+	// A broken durable session is revived just long enough to deliver the
+	// finalization, so the server releases it instead of parking it until
+	// daemon shutdown. Best-effort: an unreachable server leaves the
+	// parked session to the daemon's own cleanup.
+	if c.connBroken && !c.lost {
+		if err := c.reconnect(); err != nil {
+			c.lost = true
+		}
 	}
 	req := &protocol.FinalizeRequest{}
 	sendErr := c.conn.Send(req)

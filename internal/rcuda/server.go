@@ -18,6 +18,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"rcuda/internal/cudart"
 	"rcuda/internal/gpu"
@@ -40,6 +41,10 @@ type Server struct {
 	closed   bool
 	nextDev  int
 	sessions sync.WaitGroup
+	// registry maps durable session ids to their state so a reconnecting
+	// client can reattach; see protocol.SessionHelloRequest.
+	registry    map[uint64]*session
+	nextSession uint64
 }
 
 // ServerOption configures a Server.
@@ -137,7 +142,39 @@ func (s *Server) Close() error {
 		err = ln.Close()
 	}
 	s.sessions.Wait()
+	// Destroy parked durable sessions nobody reattached to.
+	s.mu.Lock()
+	orphans := make([]*session, 0, len(s.registry))
+	for id, sess := range s.registry {
+		delete(s.registry, id)
+		if !sess.attached && !sess.destroyed {
+			sess.destroyed = true
+			orphans = append(orphans, sess)
+		}
+	}
+	s.mu.Unlock()
+	for _, sess := range orphans {
+		sess.destroy()
+	}
 	return err
+}
+
+// makeDurable registers sess in the reattach registry, assigning its
+// stable id on first request; repeated hellos are idempotent.
+func (s *Server) makeDurable(sess *session) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !sess.durable {
+		if s.registry == nil {
+			s.registry = make(map[uint64]*session)
+		}
+		s.nextSession++
+		sess.id = s.nextSession
+		sess.durable = true
+		sess.attached = true
+		s.registry[sess.id] = sess
+	}
+	return sess.id
 }
 
 // session is the per-connection state: one lazily created, pre-initialized
@@ -148,6 +185,14 @@ type session struct {
 	module *gpu.Module
 	ctxs   map[int]*gpu.Context
 	cur    int
+	// Durable-session state, all guarded by srv.mu. A durable session
+	// outlives its connection: when the connection dies without a clean
+	// finalize, the session is parked (attached=false) with its contexts
+	// intact until a reattach or daemon shutdown claims it.
+	id        uint64
+	durable   bool
+	attached  bool
+	destroyed bool
 }
 
 // context returns the context of the currently selected device.
@@ -197,7 +242,8 @@ func (s *Server) ServeConn(conn transport.Conn) error {
 	if err != nil {
 		return err
 	}
-	defer sess.destroy()
+	finalized := false
+	defer func() { s.releaseSession(sess, finalized) }()
 
 	for {
 		payload, err := conn.Recv()
@@ -217,8 +263,32 @@ func (s *Server) ServeConn(conn transport.Conn) error {
 			return err
 		}
 		if done {
+			finalized = true
 			return nil
 		}
+	}
+}
+
+// releaseSession runs when a connection ends. An unfinished durable
+// session is parked — contexts, module, and allocations intact — for a
+// later reattach; everything else (clean finalize, non-durable session,
+// daemon shutting down) is destroyed.
+func (s *Server) releaseSession(sess *session, finalized bool) {
+	s.mu.Lock()
+	if sess.durable && !finalized && !s.closed {
+		sess.attached = false
+		s.mu.Unlock()
+		s.counters.sessionsParked.Add(1)
+		return
+	}
+	if sess.durable {
+		delete(s.registry, sess.id)
+	}
+	destroyed := sess.destroyed
+	sess.destroyed = true
+	s.mu.Unlock()
+	if !destroyed {
+		sess.destroy()
 	}
 }
 
@@ -230,6 +300,9 @@ func (s *Server) handshake(conn transport.Conn) (*session, error) {
 	payload, err := conn.Recv()
 	if err != nil {
 		return nil, fmt.Errorf("rcuda: handshake recv: %w", err)
+	}
+	if r, ok := protocol.TryDecodeReattach(payload); ok {
+		return s.reattachSession(conn, r)
 	}
 	initReq, err := protocol.DecodeInitRequest(payload)
 	if err != nil {
@@ -260,6 +333,45 @@ func (s *Server) handshake(conn transport.Conn) (*session, error) {
 		return nil, sendErr
 	}
 	return nil, fmt.Errorf("rcuda: module load: %w", err)
+}
+
+// reattachWait bounds how long a reattaching connection waits for the
+// session's previous connection to notice its own death and park the
+// session. The wait is only taken in that narrow race; an unknown session
+// is refused immediately.
+const reattachWait = 2 * time.Second
+
+// reattachSession splices a parked durable session onto a fresh
+// connection. The session must exist and be detached; a session still
+// marked attached means the old connection's server goroutine has not yet
+// observed the fault, so the reattach polls briefly for the park.
+func (s *Server) reattachSession(conn transport.Conn, r *protocol.ReattachRequest) (*session, error) {
+	deadline := time.Now().Add(reattachWait)
+	for {
+		s.mu.Lock()
+		sess, known := s.registry[r.Session]
+		closed := s.closed
+		if known && !closed && !sess.attached {
+			sess.attached = true
+			cur := sess.cur
+			s.mu.Unlock()
+			maj, min := s.devs[cur].Capability()
+			if err := conn.Send(&protocol.ReattachResponse{CapabilityMajor: maj, CapabilityMinor: min}); err != nil {
+				s.mu.Lock()
+				sess.attached = false
+				s.mu.Unlock()
+				return nil, err
+			}
+			s.counters.reattaches.Add(1)
+			return sess, nil
+		}
+		s.mu.Unlock()
+		if !known || closed || time.Now().After(deadline) {
+			_ = conn.Send(&protocol.ReattachResponse{Err: uint32(cudart.ErrorInitialization)})
+			return nil, fmt.Errorf("rcuda: reattach refused for session %d (known=%v)", r.Session, known)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
 }
 
 // dispatch executes one request and sends its response. It reports
@@ -299,6 +411,11 @@ func (s *Server) dispatch(conn transport.Conn, sess *session, req protocol.Reque
 		return false, conn.Send(&protocol.SyncResponse{Err: code(ctx.Synchronize())})
 	case *protocol.FinalizeRequest:
 		return true, nil
+	case *protocol.SessionHelloRequest:
+		return false, conn.Send(&protocol.SessionHelloResponse{Session: s.makeDurable(sess)})
+	case *protocol.ReattachRequest:
+		// Reattach is only legal as a connection's opening message.
+		return false, fmt.Errorf("rcuda: reattach inside an established session")
 	default:
 		if handled, err := s.dispatchAsync(conn, ctx, req); handled {
 			return false, err

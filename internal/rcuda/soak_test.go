@@ -1,0 +1,115 @@
+package rcuda
+
+import (
+	"bytes"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"rcuda/internal/calib"
+	"rcuda/internal/cudart"
+	"rcuda/internal/faults"
+	"rcuda/internal/gpu"
+	"rcuda/internal/kernels"
+)
+
+// TestSoakMixedOpsUnderFaults pushes 10k mixed operations through a
+// connection with a ~1% seeded fault rate and then checks the process is
+// clean: every surviving read is bit-exact, the client recovered at least
+// once, and no goroutines leaked across the churn of killed connections
+// and reattached sessions. Skipped under -short; `make soak` runs it
+// under -race.
+func TestSoakMixedOpsUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	before := runtime.NumGoroutine()
+
+	srv, addr, cleanup := startTCPServer(t)
+	plan := faults.Seeded(1, faults.Config{
+		ResetRate:        0.003,
+		TruncateRate:     0.002,
+		StallRate:        0.001,
+		PartialWriteRate: 0.002,
+		LatencyRate:      0.002,
+		StallDelay:       time.Millisecond,
+		LatencyDelay:     20 * time.Microsecond,
+	})
+	client := openChaosClient(t, addr, plan, moduleImage(t, calib.MM))
+
+	const region = 4096 // crosses the 1024-byte chunk threshold
+	fixed := insistMalloc(t, client, region)
+	scratch := insistMalloc(t, client, 4*16*16)
+	buf := make([]byte, region)
+	out := make([]byte, region)
+
+	const ops = 10000
+	for i := 0; i < ops; i++ {
+		switch i % 10 {
+		case 0, 1, 2, 3, 4, 5:
+			// Write a distinct pattern, read it straight back, compare.
+			for j := range buf {
+				buf[j] = byte(i + j)
+			}
+			if err := client.MemcpyToDevice(fixed, buf); err != nil {
+				t.Fatalf("op %d write: %v", i, err)
+			}
+			if err := client.MemcpyToHost(out, fixed); err != nil {
+				t.Fatalf("op %d read: %v", i, err)
+			}
+			if !bytes.Equal(out, buf) {
+				t.Fatalf("op %d: read back diverged (faults so far: %d)", i, plan.Injected())
+			}
+		case 6, 7:
+			if err := client.DeviceSynchronize(); err != nil {
+				t.Fatalf("op %d sync: %v", i, err)
+			}
+		case 8:
+			// A launch interrupted mid-fault may have run; sgemm overwrites
+			// its output, so re-running or skipping both leave the session
+			// healthy.
+			err := client.Launch(kernels.SgemmKernel, cudart.Dim3{X: 1, Y: 1}, cudart.Dim3{X: 16, Y: 16}, 0,
+				gpu.PackParams(uint32(scratch), uint32(scratch), uint32(scratch), 16))
+			if err != nil && !errors.Is(err, ErrSessionLost) {
+				t.Fatalf("op %d launch: %v", i, err)
+			}
+		case 9:
+			ptr, err := client.Malloc(256)
+			if err != nil {
+				if errors.Is(err, ErrSessionLost) {
+					continue // may have leaked server-side; tolerated
+				}
+				t.Fatalf("op %d malloc: %v", i, err)
+			}
+			if err := client.Free(ptr); err != nil && !errors.Is(err, ErrSessionLost) {
+				t.Fatalf("op %d free: %v", i, err)
+			}
+		}
+	}
+
+	cs := client.Stats()
+	if plan.Injected() == 0 || cs.Recovered == 0 {
+		t.Fatalf("soak saw no faults or no recoveries: injected=%d stats=%+v", plan.Injected(), cs)
+	}
+	t.Logf("soak: %d ops, faults=%d client=%+v server-reattaches=%d",
+		ops, plan.Injected(), cs, srv.Stats().Reattaches)
+
+	if err := client.Close(); err != nil {
+		t.Logf("client close: %v", err) // best-effort on a faulted conn
+	}
+	cleanup()
+
+	// Goroutines wind down asynchronously after the listener closes.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

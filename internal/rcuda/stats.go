@@ -16,6 +16,11 @@ type ServerStats struct {
 	// sessions, including the handshake.
 	BytesReceived int64
 	BytesSent     int64
+	// Reattaches counts connections that resumed a parked durable session.
+	Reattaches int64
+	// SessionsParked counts durable sessions whose connection died and
+	// whose state was kept for a reattach (cumulative, not a gauge).
+	SessionsParked int64
 }
 
 // serverCounters backs Server.Stats with atomics.
@@ -25,6 +30,8 @@ type serverCounters struct {
 	requests        atomic.Int64
 	bytesReceived   atomic.Int64
 	bytesSent       atomic.Int64
+	reattaches      atomic.Int64
+	sessionsParked  atomic.Int64
 }
 
 // Stats returns a snapshot of the daemon's counters.
@@ -35,5 +42,39 @@ func (s *Server) Stats() ServerStats {
 		Requests:        s.counters.requests.Load(),
 		BytesReceived:   s.counters.bytesReceived.Load(),
 		BytesSent:       s.counters.bytesSent.Load(),
+		Reattaches:      s.counters.reattaches.Load(),
+		SessionsParked:  s.counters.sessionsParked.Load(),
+	}
+}
+
+// ClientStats are cumulative per-client resilience counters.
+type ClientStats struct {
+	// ConnFaults counts operations interrupted by a connection-level
+	// failure (reset, truncation, stall, EOF).
+	ConnFaults int64
+	// Retries counts re-executions of idempotent operations after a fault.
+	Retries int64
+	// Reconnects counts successful redial-and-reattach cycles.
+	Reconnects int64
+	// Recovered counts operations that ultimately succeeded on a retry.
+	Recovered int64
+}
+
+// clientCounters backs Client.Stats with atomics so observers can poll a
+// client that is mid-operation on another goroutine.
+type clientCounters struct {
+	connFaults atomic.Int64
+	retries    atomic.Int64
+	reconnects atomic.Int64
+	recovered  atomic.Int64
+}
+
+// Stats returns a snapshot of the client's resilience counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		ConnFaults: c.cstats.connFaults.Load(),
+		Retries:    c.cstats.retries.Load(),
+		Reconnects: c.cstats.reconnects.Load(),
+		Recovered:  c.cstats.recovered.Load(),
 	}
 }

@@ -145,7 +145,90 @@ func (c Config) expExtensions(sb *strings.Builder) error {
 `, simMS(fastLegacy), simMS(fastChunked),
 		(1-fastChunked.Seconds()/fastLegacy.Seconds())*100,
 		simMS(slowLegacy), simMS(slowChunked))
+
+	// Fault injection and retry (chaos suite): report the fault-free cost
+	// of the retry layer against its <1% acceptance target. The modeled
+	// sim-time comparison is deterministic, keeping this document
+	// byte-stable across regenerations; the wall-clock CPU-side cost lives
+	// in BenchmarkMemcpyPipeline's chunked vs chunked+retry modes.
+	basePer, retryPer, err := retrySimOverhead()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sb, `- **Fault injection and session recovery (`+"`make chaos` / `make soak`"+`)**: a
+  deterministic fault layer (internal/faults, transport.FaultyConn) injects
+  connection resets, truncated frames, stalls, partial writes and latency
+  spikes at scripted or seeded operation indices, and the client heals
+  through them: idempotent calls retry with exponential backoff while the
+  session reattaches to its durable server state, so the MM and FFT
+  workloads finish bit-exact through ~8%% fault rates (50-seed chaos sweep
+  under -race; 10k-op soak at ~1%%). Fault-free cost: the durable session
+  adds one 4+12-byte SessionHello exchange at open and zero wire traffic
+  per subsequent call — a 64 MiB chunked copy on 40GI models %.1f sim-ms
+  plain vs %.1f sim-ms retrying (%+.2f%%) — and the CPU-side bookkeeping
+  sits below benchmark noise on a loopback socket (tcp/chunked vs
+  tcp/chunked+retry in BenchmarkMemcpyPipeline; <1%% target).
+
+`, simMS(basePer), simMS(retryPer),
+		(retryPer.Seconds()/basePer.Seconds()-1)*100)
 	return nil
+}
+
+// retrySimOverhead reruns chunkedMemcpyTimes' 64 MiB copy on 40GI with the
+// retry/reconnect layer enabled and returns both modeled times. On a
+// fault-free connection the retry layer adds no wire traffic after the
+// one-off session hello (which precedes the measured window), so the two
+// times must come out identical — the comparison pins that claim in the
+// generated document deterministically.
+func retrySimOverhead() (plain, retrying time.Duration, err error) {
+	mod, err := kernels.ModuleFor(calib.MM)
+	if err != nil {
+		return 0, 0, err
+	}
+	img, err := mod.Binary()
+	if err != nil {
+		return 0, 0, err
+	}
+	link := netsim.IB40G()
+	const size = 64 << 20
+	run := func(retry bool) (time.Duration, error) {
+		clk := vclock.NewSim()
+		dev := gpu.New(gpu.Config{Clock: clk})
+		srv := rcuda.NewServer(dev)
+		cliEnd, srvEnd := transport.Pipe(link, clk, nil)
+		go func() { _ = srv.ServeConn(srvEnd) }()
+		opts := []rcuda.ClientOption{rcuda.WithChunkedTransfers(1, protocol.DefaultChunkSize)}
+		if retry {
+			opts = append(opts,
+				rcuda.WithRetry(4, 200*time.Microsecond),
+				rcuda.WithReconnect(func() (transport.Conn, error) {
+					c2, s2 := transport.Pipe(link, clk, nil)
+					go func() { _ = srv.ServeConn(s2) }()
+					return c2, nil
+				}))
+		}
+		client, err := rcuda.Open(cliEnd, img, opts...)
+		if err != nil {
+			return 0, err
+		}
+		defer client.Close()
+		ptr, err := client.Malloc(size)
+		if err != nil {
+			return 0, err
+		}
+		start := clk.Now()
+		if err := client.MemcpyToDevice(ptr, make([]byte, size)); err != nil {
+			return 0, err
+		}
+		return clk.Now() - start, nil
+	}
+	if plain, err = run(false); err != nil {
+		return 0, 0, err
+	}
+	if retrying, err = run(true); err != nil {
+		return 0, 0, err
+	}
+	return plain, retrying, nil
 }
 
 func simMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

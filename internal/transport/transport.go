@@ -76,6 +76,9 @@ type Stats struct {
 	// pool versus freshly allocated (sends and receives combined).
 	PoolHits   int64
 	PoolMisses int64
+	// FaultsInjected counts deliberate faults a FaultyConn applied to this
+	// connection; always zero on a plain connection.
+	FaultsInjected int64
 }
 
 // counters is embedded by implementations; all fields are atomics.
@@ -112,6 +115,19 @@ func (c *counters) Stats() Stats {
 		PoolHits:     c.poolHits.Load(),
 		PoolMisses:   c.poolMisses.Load(),
 	}
+}
+
+// ErrTruncatedFrame reports a frame that ended mid-flight: the peer (or an
+// injected fault) tore the connection down after the length prefix promised
+// more bytes than ever arrived. It wraps io.ErrUnexpectedEOF, so existing
+// errors.Is checks against that sentinel keep working, while retry logic
+// can classify the loss precisely.
+var ErrTruncatedFrame = fmt.Errorf("transport: truncated frame: %w", io.ErrUnexpectedEOF)
+
+// isStreamEnd reports an EOF-like read failure (the only errors ReadFull
+// and Peek can return when the stream simply stops short).
+func isStreamEnd(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
 }
 
 // --- TCP ---------------------------------------------------------------------
@@ -205,6 +221,11 @@ func (t *TCPConn) Recv() ([]byte, error) {
 	// the array escape, one allocation per message.
 	hdr, err := t.br.Peek(frameHeaderSize)
 	if err != nil {
+		// A clean close lands exactly between frames and surfaces as io.EOF
+		// with nothing buffered; a close inside the header is a truncation.
+		if got := t.br.Buffered(); got > 0 && isStreamEnd(err) {
+			return nil, fmt.Errorf("%w: %d of %d header bytes", ErrTruncatedFrame, got, frameHeaderSize)
+		}
 		return nil, err
 	}
 	n := int(binary.LittleEndian.Uint32(hdr))
@@ -217,7 +238,11 @@ func (t *TCPConn) Recv() ([]byte, error) {
 	buf, hit := GetBuffer(n)
 	t.onPool(hit)
 	buf = buf[:n]
-	if _, err := io.ReadFull(t.br, buf); err != nil {
+	if got, err := io.ReadFull(t.br, buf); err != nil {
+		PutBuffer(buf)
+		if isStreamEnd(err) {
+			return nil, fmt.Errorf("%w: %d of %d payload bytes", ErrTruncatedFrame, got, n)
+		}
 		return nil, err
 	}
 	t.lastRecv = buf
@@ -227,6 +252,68 @@ func (t *TCPConn) Recv() ([]byte, error) {
 
 // Close implements Conn.
 func (t *TCPConn) Close() error { return t.c.Close() }
+
+// encodeFrame renders the full length-prefixed frame of m into a fresh
+// buffer; the fault paths below need the raw bytes to cut or split.
+func encodeFrame(m protocol.Message) ([]byte, error) {
+	buf := make([]byte, frameHeaderSize, frameHeaderSize+m.WireSize())
+	binary.LittleEndian.PutUint32(buf, uint32(m.WireSize()))
+	buf = m.Encode(buf)
+	if len(buf) != frameHeaderSize+m.WireSize() {
+		return nil, fmt.Errorf("transport: %T encoded %d bytes, declared %d",
+			m, len(buf)-frameHeaderSize, m.WireSize())
+	}
+	return buf, nil
+}
+
+// sendTruncated implements truncatedSender: it emits the frame header plus
+// only the first keep payload bytes, then tears the connection down, so
+// the peer observes a mid-frame truncation.
+func (t *TCPConn) sendTruncated(m protocol.Message, keep int) error {
+	buf, err := encodeFrame(m)
+	if err != nil {
+		return err
+	}
+	if err := t.armDeadline(t.c.SetWriteDeadline); err != nil {
+		return err
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > m.WireSize()-1 {
+		keep = m.WireSize() - 1
+	}
+	_, werr := t.c.Write(buf[:frameHeaderSize+keep])
+	cerr := t.c.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// sendSplit implements splitSender: the frame goes out whole but across
+// two raw writes split at firstN frame bytes, exercising the peer's
+// mid-frame reassembly without corrupting anything.
+func (t *TCPConn) sendSplit(m protocol.Message, firstN int) error {
+	buf, err := encodeFrame(m)
+	if err != nil {
+		return err
+	}
+	if err := t.armDeadline(t.c.SetWriteDeadline); err != nil {
+		return err
+	}
+	if firstN <= 0 || firstN >= len(buf) {
+		firstN = len(buf) / 2
+	}
+	if _, err := t.c.Write(buf[:firstN]); err != nil {
+		return err
+	}
+	if _, err := t.c.Write(buf[firstN:]); err != nil {
+		return err
+	}
+	t.onSend(m.WireSize())
+	return nil
+}
 
 // --- Simulated pipe -----------------------------------------------------------
 
@@ -363,6 +450,43 @@ func (p *PipeEnd) RecvTimed() ([]byte, time.Duration, error) {
 
 // errClosedEOF distinguishes orderly shutdown; callers treat it like EOF.
 func errClosedEOF() error { return ErrClosed }
+
+// sendTruncated implements truncatedSender for the simulated pipe. The
+// pipe has no byte stream to cut mid-frame, so truncation delivers the
+// first keep payload bytes as the message and then closes the connection:
+// the peer decodes a short, malformed payload — the same observable
+// outcome a torn frame has after reassembly.
+func (p *PipeEnd) sendTruncated(m protocol.Message, keep int) error {
+	buf, hit := GetBuffer(m.WireSize())
+	p.onPool(hit)
+	payload := m.Encode(buf)
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > len(payload)-1 {
+		keep = len(payload) - 1
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	payload = payload[:keep]
+	wire := p.link.WireTime(int64(len(payload)))
+	if p.noise != nil {
+		wire = p.noise.Perturb(wire)
+	}
+	select {
+	case <-p.done:
+		return ErrClosed
+	default:
+	}
+	p.clock.Sleep(wire)
+	select {
+	case p.out <- pipeMsg{payload: payload, at: p.clock.Now()}:
+		p.onSend(len(payload))
+	case <-p.done:
+	}
+	return p.Close()
+}
 
 // Close implements Conn. Closing either end terminates both directions.
 func (p *PipeEnd) Close() error {
