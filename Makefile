@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify chaos soak bench fuzz repro figures experiments clean help
+.PHONY: all build test race verify lint chaos soak bench fuzz repro figures experiments clean help
 
 all: build test
 
@@ -13,6 +13,7 @@ help:
 	@echo "  test         run all tests"
 	@echo "  race         run all tests under the race detector"
 	@echo "  verify       tier-1 gate: build + test + race on data path + chaos suite"
+	@echo "  lint         vet plus gofmt diff check"
 	@echo "  chaos        fault-injection suite (scripted + 50 seeded plans) under -race"
 	@echo "  soak         10k mixed ops at ~1% fault rate, leak-checked, under -race"
 	@echo "  bench        run all benchmarks"
@@ -31,6 +32,12 @@ test:
 
 race:
 	$(GO) test -race -count=1 ./...
+
+# Lint: vet plus a gofmt cleanliness check (stdlib tooling only).
+lint:
+	$(GO) vet ./...
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 
 # Tier-1 verification: full build + tests, the concurrent data-path packages
 # (transport framing, middleware streaming) under the race detector, and the

@@ -6,18 +6,28 @@
 // concurrent clients time-share the GPU and no client pays the CUDA
 // environment start-up delay.
 //
+// The hardening flags bound what any one client can take from the shared
+// node: -max-sessions/-max-conns/-queue-depth gate admission,
+// -session-mem/-max-allocs cap a session's device memory, -req-deadline
+// kills stalled connections, and -parked-ttl reclaims abandoned durable
+// sessions. SIGUSR1 prints an operational stats snapshot; on SIGINT/SIGTERM
+// the daemon drains gracefully within -drain-grace and prints a final
+// snapshot.
+//
 // Usage:
 //
-//	rcudad [-listen :8308] [-mem 4096] [-quiet]
+//	rcudad [-listen :8308] [-mem 4096] [-quiet] [hardening flags]
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"rcuda/internal/gpu"
 	_ "rcuda/internal/kernels" // register the case-study GPU modules
@@ -25,12 +35,34 @@ import (
 	"rcuda/internal/vclock"
 )
 
+// logSnapshot prints the operator view of the daemon: cumulative counters
+// plus live session and device-occupancy gauges.
+func logSnapshot(logger *log.Logger, snap rcuda.StatsSnapshot) {
+	logger.Printf("stats: sessions live=%d parked=%d started=%d requests=%d reattaches=%d",
+		snap.SessionsLive, snap.SessionsParkedNow, snap.SessionsStarted, snap.Requests, snap.Reattaches)
+	logger.Printf("stats: rejected conns=%d sessions=%d quota-denials=%d watchdog-kills=%d evictions=%d forced-closes=%d",
+		snap.RejectedConns, snap.RejectedSessions, snap.QuotaDenials, snap.WatchdogKills, snap.Evictions, snap.ForcedCloses)
+	for i, du := range snap.Devices {
+		logger.Printf("stats: device %d %q: %d bytes in %d allocations", i, du.Name, du.BytesInUse, du.Allocations)
+	}
+}
+
 func main() {
 	listen := flag.String("listen", ":8308", "TCP address to listen on")
 	memMiB := flag.Uint64("mem", 4096, "device memory in MiB (Tesla C1060: 4096)")
 	gpus := flag.Int("gpus", 1, "number of GPUs this node serves")
 	spread := flag.Bool("spread", false, "start sessions on the GPUs round robin instead of device 0")
 	quiet := flag.Bool("quiet", false, "suppress per-session logging")
+
+	maxSessions := flag.Int("max-sessions", 0, "max concurrent sessions, attached or parked (0 = unlimited)")
+	maxConns := flag.Int("max-conns", 0, "max concurrently served connections (0 = unlimited)")
+	queueDepth := flag.Int("queue-depth", 0, "handshakes that may queue for a session slot instead of being rejected")
+	queueWait := flag.Duration("queue-wait", time.Second, "how long a queued handshake waits for a slot")
+	sessionMemMiB := flag.Uint64("session-mem", 0, "per-session device memory cap in MiB (0 = unlimited)")
+	maxAllocs := flag.Int("max-allocs", 0, "per-session live allocation cap (0 = unlimited)")
+	reqDeadline := flag.Duration("req-deadline", 0, "request watchdog: kill connections idle or stalled past this (0 = off)")
+	parkedTTL := flag.Duration("parked-ttl", 0, "destroy parked durable sessions not reattached within this (0 = keep until shutdown)")
+	drainGrace := flag.Duration("drain-grace", rcuda.DefaultCloseGrace, "how long shutdown lets in-flight sessions finish")
 	flag.Parse()
 	if *gpus < 1 {
 		log.Fatalf("rcudad: -gpus %d must be at least 1", *gpus)
@@ -47,7 +79,16 @@ func main() {
 	}
 	dev := devs[0]
 
-	opts := []rcuda.ServerOption{rcuda.WithDevices(devs[1:]...)}
+	opts := []rcuda.ServerOption{
+		rcuda.WithDevices(devs[1:]...),
+		rcuda.WithMaxSessions(*maxSessions),
+		rcuda.WithMaxConns(*maxConns),
+		rcuda.WithAdmissionQueue(*queueDepth, *queueWait),
+		rcuda.WithSessionMemoryLimit(*sessionMemMiB << 20),
+		rcuda.WithMaxAllocsPerSession(*maxAllocs),
+		rcuda.WithRequestDeadline(*reqDeadline),
+		rcuda.WithParkedSessionTTL(*parkedTTL),
+	}
 	if *spread {
 		opts = append(opts, rcuda.WithSessionSpread())
 	}
@@ -63,15 +104,26 @@ func main() {
 	logger.Printf("serving %d x %s (%d MiB each) on %s, modules: %v",
 		*gpus, dev.Name(), *memMiB, ln.Addr(), gpu.RegisteredModules())
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
 	go func() {
-		<-sig
-		logger.Print("shutting down")
-		_ = srv.Close()
+		for s := range sig {
+			if s == syscall.SIGUSR1 {
+				logSnapshot(logger, srv.StatsSnapshot())
+				continue
+			}
+			logger.Printf("shutting down, draining for up to %v", *drainGrace)
+			ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+			if err := srv.Drain(ctx); err != nil {
+				logger.Printf("drain: %v", err)
+			}
+			cancel()
+			return
+		}
 	}()
 
 	if err := srv.Serve(ln); err != nil {
 		logger.Fatalf("serve: %v", err)
 	}
+	logSnapshot(logger, srv.StatsSnapshot())
 }

@@ -45,6 +45,12 @@ func roundUp(n uint32) uint64 {
 	return (uint64(n) + allocAlign - 1) &^ (allocAlign - 1)
 }
 
+// AllocCharge returns the device bytes a request of the given size actually
+// occupies once rounded to the allocation granularity. Accounting layers
+// (per-session quotas in the rCUDA server) charge this amount so their
+// bookkeeping matches the allocator's inUse figure exactly.
+func AllocCharge(size uint32) uint64 { return roundUp(size) }
+
 // alloc reserves size bytes and returns the device address of the region.
 func (a *allocator) alloc(size uint32) (uint32, error) {
 	if size == 0 {

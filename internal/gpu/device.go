@@ -158,7 +158,7 @@ type Context struct {
 	mu      sync.Mutex
 	modules map[string]*Module
 	kernels map[string]*Kernel
-	owned   map[uint32]bool
+	owned   map[uint32]uint32 // addr -> requested size
 	tl      *timeline
 	dead    bool
 }
@@ -184,7 +184,7 @@ func (d *Device) newContextNoInit() *Context {
 		dev:     d,
 		modules: make(map[string]*Module),
 		kernels: make(map[string]*Kernel),
-		owned:   make(map[uint32]bool),
+		owned:   make(map[uint32]uint32),
 		tl:      newTimeline(),
 	}
 }
@@ -240,7 +240,7 @@ func (c *Context) Malloc(size uint32) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
-	c.owned[addr] = true
+	c.owned[addr] = size
 	return addr, nil
 }
 
@@ -251,7 +251,7 @@ func (c *Context) Free(addr uint32) error {
 	if err := c.check(); err != nil {
 		return err
 	}
-	if !c.owned[addr] {
+	if _, ok := c.owned[addr]; !ok {
 		return fmt.Errorf("%w: %#x not owned by this context", ErrInvalidDevPtr, addr)
 	}
 	c.dev.mu.Lock()
@@ -309,6 +309,26 @@ func (c *Context) CopyToHost(src uint32, size uint32) ([]byte, error) {
 	copy(out, region)
 	c.dev.sleep(c.dev.PCIeTime(int64(size)))
 	return out, nil
+}
+
+// OwnedBytes returns the device bytes this context holds, charged at the
+// allocator's granularity — the figure per-session quotas are enforced
+// against. Zero after Destroy.
+func (c *Context) OwnedBytes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total uint64
+	for _, size := range c.owned {
+		total += roundUp(size)
+	}
+	return total
+}
+
+// OwnedCount returns the number of live allocations this context holds.
+func (c *Context) OwnedCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.owned)
 }
 
 // ExecContext is what a kernel sees when it runs.

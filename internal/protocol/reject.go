@@ -1,0 +1,22 @@
+package protocol
+
+// This file defines the server-hardening rejection codes. They ride in the
+// same 32-bit result field every response already carries (Table I's "CUDA
+// error"), but occupy a vendor range far above any cudaError_t the CUDA 2.3
+// runtime defines, so a hardened server stays wire-compatible with a stock
+// client: an old client that cannot name the code still observes a failed
+// call, while a retry-aware client classifies it precisely.
+//
+// CodeServerBusy is transient — the client may back off and try again
+// (admission control refused this connection or session, or a reattach
+// raced an accept deadline). CodeSessionEvicted is permanent — the parked
+// durable session the client tried to reattach was reclaimed by the
+// server's TTL garbage collector, and its allocations are gone.
+const (
+	// CodeServerBusy rejects a handshake or reattach under admission
+	// control; the condition is transient and retryable.
+	CodeServerBusy uint32 = 1001
+	// CodeSessionEvicted refuses a reattach whose parked session the
+	// server already reclaimed; the session cannot be recovered.
+	CodeSessionEvicted uint32 = 1002
+)

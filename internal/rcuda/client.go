@@ -116,6 +116,9 @@ func Open(conn transport.Conn, module []byte, opts ...ClientOption) (*Client, er
 		return nil, fmt.Errorf("rcuda: init decode: %w", err)
 	}
 	c.observe(protocol.OpInit, req.WireSize(), resp.WireSize())
+	if resp.Err == protocol.CodeServerBusy {
+		return nil, fmt.Errorf("rcuda: server refused admission: %w", ErrServerBusy)
+	}
 	if err := cudart.Error(resp.Err).AsError(); err != nil {
 		return nil, fmt.Errorf("rcuda: server rejected initialization: %w", err)
 	}

@@ -1,0 +1,112 @@
+package rcuda
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrServerBusy reports that the server's admission control refused this
+// connection or session: the concurrent-connection cap, the session cap, or
+// the admission queue's depth or accept deadline was exhausted. The
+// condition is transient — a client with a retry policy backs off and
+// redials; on the wire it travels as protocol.CodeServerBusy.
+var ErrServerBusy = errors.New("rcuda: server busy")
+
+// ErrSessionEvicted reports that a reattach named a durable session the
+// server's parked-session garbage collector already reclaimed. Unlike
+// ErrServerBusy it is permanent: the session's contexts and allocations are
+// gone, so the client latches ErrSessionLost.
+var ErrSessionEvicted = errors.New("rcuda: session evicted")
+
+// guard is the server's admission controller. It bounds how many
+// connections are being served concurrently (a hard cap, no queueing — a
+// connection is cheap to retry) and how many sessions exist at once
+// (attached or parked, since a parked session still pins device memory).
+// Session admission can optionally queue: up to queueDepth handshakes park
+// in FIFO arrival order for at most queueWait, picking up slots as running
+// sessions are destroyed.
+//
+// The zero-value *guard (or nil limits) admits everything.
+type guard struct {
+	maxConns   int64
+	queueDepth int64
+	queueWait  time.Duration
+
+	conns   atomic.Int64
+	waiters atomic.Int64
+	// slots is a counting semaphore with capacity maxSessions; a token in
+	// the channel is an admitted session. Nil means unlimited.
+	slots chan struct{}
+}
+
+// newGuard builds the admission state for the given limits; any limit <= 0
+// is unlimited.
+func newGuard(maxSessions, maxConns, queueDepth int, queueWait time.Duration) *guard {
+	g := &guard{queueWait: queueWait}
+	if maxConns > 0 {
+		g.maxConns = int64(maxConns)
+	}
+	if queueDepth > 0 {
+		g.queueDepth = int64(queueDepth)
+	}
+	if maxSessions > 0 {
+		g.slots = make(chan struct{}, maxSessions)
+	}
+	return g
+}
+
+// admitConn counts a new connection against the concurrency cap and
+// reports whether it is within bounds. The count is held either way (the
+// rejection handshake itself occupies the connection briefly); the caller
+// must pair it with releaseConn.
+func (g *guard) admitConn() bool {
+	n := g.conns.Add(1)
+	return g.maxConns == 0 || n <= g.maxConns
+}
+
+// releaseConn returns a connection's slot.
+func (g *guard) releaseConn() { g.conns.Add(-1) }
+
+// acquireSession claims a session slot, queueing within the configured
+// depth and deadline. done aborts a queued wait when the server shuts
+// down. It returns ErrServerBusy when no slot can be had.
+func (g *guard) acquireSession(done <-chan struct{}) error {
+	if g.slots == nil {
+		return nil
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if g.queueDepth == 0 {
+		return ErrServerBusy
+	}
+	if g.waiters.Add(1) > g.queueDepth {
+		g.waiters.Add(-1)
+		return ErrServerBusy
+	}
+	defer g.waiters.Add(-1)
+	wait := g.queueWait
+	if wait <= 0 {
+		wait = time.Second
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-timer.C:
+		return ErrServerBusy
+	case <-done:
+		return ErrServerBusy
+	}
+}
+
+// releaseSession returns a session slot, waking one queued handshake.
+func (g *guard) releaseSession() {
+	if g.slots != nil {
+		<-g.slots
+	}
+}

@@ -191,9 +191,22 @@ func (c *Client) reconnect() error {
 		_ = conn.Close()
 		return fmt.Errorf("rcuda: reattach decode: %w", err)
 	}
-	if refuse := cudart.Error(resp.Err).AsError(); refuse != nil {
+	switch {
+	case resp.Err == protocol.CodeServerBusy:
+		// Transient: the server is over its connection cap or the old
+		// handler has not parked the session yet. Back off and redial —
+		// the session still exists, so this must NOT latch ErrSessionLost.
 		_ = conn.Close()
-		return fmt.Errorf("rcuda: server refused reattach (%v): %w", refuse, ErrSessionLost)
+		return fmt.Errorf("rcuda: reattach refused: %w", ErrServerBusy)
+	case resp.Err == protocol.CodeSessionEvicted:
+		// Permanent: the parked-session GC reclaimed the session.
+		_ = conn.Close()
+		return fmt.Errorf("rcuda: reattach refused: %w: %w", ErrSessionEvicted, ErrSessionLost)
+	default:
+		if refuse := cudart.Error(resp.Err).AsError(); refuse != nil {
+			_ = conn.Close()
+			return fmt.Errorf("rcuda: server refused reattach (%v): %w", refuse, ErrSessionLost)
+		}
 	}
 	c.conn = conn
 	c.capMajor, c.capMinor = resp.CapabilityMajor, resp.CapabilityMinor

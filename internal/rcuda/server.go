@@ -9,14 +9,24 @@
 // time-multiplexes the GPU by serving each connection on its own CUDA
 // context, which it pre-initializes so clients never pay the CUDA
 // environment start-up delay.
+//
+// Beyond the paper, the server carries a protection layer for multi-tenant
+// deployment: admission control (WithMaxSessions, WithMaxConns,
+// WithAdmissionQueue), per-session quotas (WithSessionMemoryLimit,
+// WithMaxAllocsPerSession), a request watchdog (WithRequestDeadline),
+// TTL-based reclamation of abandoned durable sessions
+// (WithParkedSessionTTL), and graceful shutdown (Drain, bounded Close).
+// Every limit defaults to off.
 package rcuda
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -36,15 +46,44 @@ type Server struct {
 	spread   bool
 	counters serverCounters
 
+	// Hardening configuration (see limits.go); zero values disable.
+	maxSessions         int
+	maxConns            int
+	admitQueueDepth     int
+	admitQueueWait      time.Duration
+	sessionMemLimit     uint64
+	maxAllocsPerSession int
+	requestDeadline     time.Duration
+	parkedTTL           time.Duration
+	closeGrace          time.Duration
+
+	guard *guard
+	// doneCh closes when shutdown begins, waking queued admissions and
+	// reattach waiters.
+	doneCh chan struct{}
+	// handlers tracks every ServeConn in flight — including ones invoked
+	// directly on a simulated pipe, which Serve's WaitGroup never sees.
+	handlers sync.WaitGroup
+
 	mu       sync.Mutex
 	listener net.Listener
 	closed   bool
 	nextDev  int
 	sessions sync.WaitGroup
+	// conns holds every connection currently being served so Drain can
+	// force-close stragglers past its deadline.
+	conns map[transport.Conn]struct{}
 	// registry maps durable session ids to their state so a reconnecting
 	// client can reattach; see protocol.SessionHelloRequest.
 	registry    map[uint64]*session
 	nextSession uint64
+	// evicted remembers durable sessions the parked-session GC reclaimed,
+	// so a late reattach gets the typed eviction refusal instead of an
+	// anonymous one. Ids are 8 bytes each and only abandoned sessions ever
+	// land here, so the set stays small for any sane TTL.
+	evicted map[uint64]struct{}
+	gcStop  chan struct{}
+	gcDone  chan struct{}
 }
 
 // ServerOption configures a Server.
@@ -83,10 +122,16 @@ func (s *Server) initialDevice() int {
 
 // NewServer creates a daemon for the given device.
 func NewServer(dev *gpu.Device, opts ...ServerOption) *Server {
-	s := &Server{devs: []*gpu.Device{dev}}
+	s := &Server{
+		devs:       []*gpu.Device{dev},
+		closeGrace: DefaultCloseGrace,
+		doneCh:     make(chan struct{}),
+		conns:      make(map[transport.Conn]struct{}),
+	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.guard = newGuard(s.maxSessions, s.maxConns, s.admitQueueDepth, s.admitQueueWait)
 	return s
 }
 
@@ -131,30 +176,99 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close stops accepting connections and waits for in-flight sessions.
-func (s *Server) Close() error {
+// beginShutdown flips the server into its terminal state exactly once:
+// stop accepting, wake queued admissions and reattach waiters, stop the
+// parked-session GC. It returns the listener's close error.
+func (s *Server) beginShutdown() error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
 	s.closed = true
 	ln := s.listener
+	close(s.doneCh)
+	gcStop, gcDone := s.gcStop, s.gcDone
+	s.gcStop, s.gcDone = nil, nil
 	s.mu.Unlock()
-	var err error
-	if ln != nil {
-		err = ln.Close()
+	if gcStop != nil {
+		close(gcStop)
+		<-gcDone
 	}
-	s.sessions.Wait()
-	// Destroy parked durable sessions nobody reattached to.
+	if ln != nil {
+		return ln.Close()
+	}
+	return nil
+}
+
+// sweepOrphans destroys every parked durable session nobody reattached to.
+// Safe to call repeatedly; destroySession guards double destruction.
+func (s *Server) sweepOrphans() {
 	s.mu.Lock()
 	orphans := make([]*session, 0, len(s.registry))
 	for id, sess := range s.registry {
 		delete(s.registry, id)
-		if !sess.attached && !sess.destroyed {
-			sess.destroyed = true
+		if !sess.attached {
 			orphans = append(orphans, sess)
 		}
 	}
 	s.mu.Unlock()
 	for _, sess := range orphans {
-		sess.destroy()
+		s.destroySession(sess)
+	}
+}
+
+// Drain gracefully shuts the server down: it stops accepting, lets
+// in-flight sessions run to completion, and — once ctx expires — force
+// closes the stragglers' connections so no handler goroutine outlives the
+// drain by more than one blocked transport operation. Parked durable
+// sessions are destroyed either way. It returns ctx.Err() when force
+// closing was needed, nil for a fully graceful drain.
+func (s *Server) Drain(ctx context.Context) error {
+	lnErr := s.beginShutdown()
+	settled := make(chan struct{})
+	go func() {
+		s.sessions.Wait()
+		s.handlers.Wait()
+		close(settled)
+	}()
+	var forcedErr error
+	select {
+	case <-settled:
+	case <-ctx.Done():
+		forcedErr = ctx.Err()
+		s.mu.Lock()
+		stragglers := make([]transport.Conn, 0, len(s.conns))
+		for c := range s.conns {
+			stragglers = append(stragglers, c)
+		}
+		s.mu.Unlock()
+		for _, c := range stragglers {
+			_ = c.Close()
+			s.counters.forcedCloses.Add(1)
+		}
+		// A closed transport unblocks the handler's pending op, so this
+		// terminates promptly.
+		<-settled
+	}
+	s.sweepOrphans()
+	if lnErr != nil {
+		return lnErr
+	}
+	return forcedErr
+}
+
+// Close stops accepting connections and shuts down within a bounded grace
+// period (WithCloseGrace, default DefaultCloseGrace): in-flight requests
+// get the grace to finish, then their connections are force-closed. Unlike
+// Drain, a forced close is not reported as an error — Close's contract is
+// simply "the server is down when I return".
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.closeGrace)
+	defer cancel()
+	err := s.Drain(ctx)
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return nil
 	}
 	return err
 }
@@ -172,6 +286,7 @@ func (s *Server) makeDurable(sess *session) uint64 {
 		sess.id = s.nextSession
 		sess.durable = true
 		sess.attached = true
+		sess.parkCh = make(chan struct{})
 		s.registry[sess.id] = sess
 	}
 	return sess.id
@@ -185,13 +300,21 @@ type session struct {
 	module *gpu.Module
 	ctxs   map[int]*gpu.Context
 	cur    int
+	// slotHeld records whether this session occupies an admission slot;
+	// written once at creation, before the session is shared.
+	slotHeld bool
 	// Durable-session state, all guarded by srv.mu. A durable session
 	// outlives its connection: when the connection dies without a clean
 	// finalize, the session is parked (attached=false) with its contexts
-	// intact until a reattach or daemon shutdown claims it.
-	id        uint64
-	durable   bool
-	attached  bool
+	// intact until a reattach, TTL eviction, or daemon shutdown claims it.
+	id       uint64
+	durable  bool
+	attached bool
+	// parkCh closes when the session parks, waking reattach waiters; a
+	// fresh channel is made each time the session (re)attaches.
+	parkCh   chan struct{}
+	parkedAt time.Time
+	// destroyed is guarded by srv.mu and flips exactly once.
 	destroyed bool
 }
 
@@ -223,11 +346,45 @@ func (ss *session) destroy() {
 	}
 }
 
+// destroySession destroys sess exactly once: its contexts (and with them
+// every device allocation) are released and its admission slot is freed.
+// All destruction paths — clean finalize, disconnect of a non-durable
+// session, TTL eviction, orphan sweep — funnel through here.
+func (s *Server) destroySession(sess *session) {
+	s.mu.Lock()
+	already := sess.destroyed
+	sess.destroyed = true
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	sess.destroy()
+	if sess.slotHeld {
+		s.guard.releaseSession()
+	}
+}
+
 // ServeConn serves one client session on any transport (a real socket or a
 // simulated pipe). It performs the initialization handshake, enters the
 // request loop, and releases the session's contexts when the client
-// finalizes or disconnects.
+// finalizes or disconnects. With a request deadline configured, every
+// transport operation of the session runs under the watchdog.
 func (s *Server) ServeConn(conn transport.Conn) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("rcuda: server closed")
+	}
+	s.handlers.Add(1)
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.handlers.Done()
+	}()
+
 	s.counters.sessionsStarted.Add(1)
 	s.counters.sessionsActive.Add(1)
 	defer s.counters.sessionsActive.Add(-1)
@@ -238,7 +395,24 @@ func (s *Server) ServeConn(conn transport.Conn) error {
 		s.counters.bytesReceived.Add(st.BytesRecv)
 	}()
 
-	sess, err := s.handshake(conn)
+	if s.requestDeadline > 0 {
+		if dc, ok := conn.(transport.DeadlineCapable); ok {
+			dc.SetOpTimeout(s.requestDeadline)
+		}
+	}
+	withinConnCap := s.guard.admitConn()
+	defer s.guard.releaseConn()
+
+	err := s.serveSession(conn, withinConnCap)
+	if err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+		s.counters.watchdogKills.Add(1)
+	}
+	return err
+}
+
+// serveSession runs the handshake and request loop of one connection.
+func (s *Server) serveSession(conn transport.Conn, withinConnCap bool) error {
+	sess, err := s.handshake(conn, withinConnCap)
 	if err != nil {
 		return err
 	}
@@ -275,8 +449,11 @@ func (s *Server) ServeConn(conn transport.Conn) error {
 // daemon shutting down) is destroyed.
 func (s *Server) releaseSession(sess *session, finalized bool) {
 	s.mu.Lock()
-	if sess.durable && !finalized && !s.closed {
+	if sess.durable && !finalized && !s.closed && !sess.destroyed {
 		sess.attached = false
+		sess.parkedAt = time.Now()
+		close(sess.parkCh)
+		s.maybeStartGCLocked()
 		s.mu.Unlock()
 		s.counters.sessionsParked.Add(1)
 		return
@@ -284,30 +461,122 @@ func (s *Server) releaseSession(sess *session, finalized bool) {
 	if sess.durable {
 		delete(s.registry, sess.id)
 	}
-	destroyed := sess.destroyed
-	sess.destroyed = true
 	s.mu.Unlock()
-	if !destroyed {
-		sess.destroy()
+	s.destroySession(sess)
+}
+
+// maybeStartGCLocked lazily starts the parked-session garbage collector —
+// only once, only when a TTL is configured, and never after shutdown
+// began. Caller holds s.mu.
+func (s *Server) maybeStartGCLocked() {
+	if s.parkedTTL <= 0 || s.gcStop != nil || s.closed {
+		return
+	}
+	s.gcStop = make(chan struct{})
+	s.gcDone = make(chan struct{})
+	interval := s.parkedTTL / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	if interval > time.Second {
+		interval = time.Second
+	}
+	go s.gcLoop(s.gcStop, s.gcDone, interval)
+}
+
+// gcLoop periodically evicts parked sessions whose TTL expired, until
+// shutdown stops it.
+func (s *Server) gcLoop(stop, done chan struct{}, interval time.Duration) {
+	defer close(done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			s.evictExpired()
+		}
 	}
 }
 
-// handshake consumes the initialization message: it resolves the client's
-// GPU module and loads it into a fresh, pre-initialized context on the
-// primary device. The daemon pre-initializes the CUDA environment, so the
-// client does not pay that delay.
-func (s *Server) handshake(conn transport.Conn) (*session, error) {
+// evictExpired destroys every parked session older than the TTL, recording
+// it in the eviction tombstones so a late reattach gets the typed refusal.
+func (s *Server) evictExpired() {
+	now := time.Now()
+	s.mu.Lock()
+	var victims []*session
+	for id, sess := range s.registry {
+		if !sess.attached && !sess.destroyed && now.Sub(sess.parkedAt) >= s.parkedTTL {
+			delete(s.registry, id)
+			if s.evicted == nil {
+				s.evicted = make(map[uint64]struct{})
+			}
+			s.evicted[id] = struct{}{}
+			victims = append(victims, sess)
+		}
+	}
+	s.mu.Unlock()
+	for _, sess := range victims {
+		s.destroySession(sess)
+		s.counters.evictions.Add(1)
+		s.logf("rcuda: evicted parked session %d after TTL %v", sess.id, s.parkedTTL)
+	}
+}
+
+// refuseBusy answers the connection's opening message with the typed busy
+// code in whichever response shape the client expects.
+func refuseBusy(conn transport.Conn, reattach bool) error {
+	if reattach {
+		return conn.Send(&protocol.ReattachResponse{Err: protocol.CodeServerBusy})
+	}
+	return conn.Send(&protocol.InitResponse{Err: protocol.CodeServerBusy})
+}
+
+// handshake consumes the initialization message under admission control:
+// it resolves the client's GPU module and loads it into a fresh,
+// pre-initialized context on the primary device. The daemon pre-initializes
+// the CUDA environment, so the client does not pay that delay.
+func (s *Server) handshake(conn transport.Conn, withinConnCap bool) (*session, error) {
 	payload, err := conn.Recv()
 	if err != nil {
 		return nil, fmt.Errorf("rcuda: handshake recv: %w", err)
 	}
-	if r, ok := protocol.TryDecodeReattach(payload); ok {
+	r, isReattach := protocol.TryDecodeReattach(payload)
+	if !withinConnCap {
+		s.counters.rejectedConns.Add(1)
+		if sendErr := refuseBusy(conn, isReattach); sendErr != nil {
+			return nil, sendErr
+		}
+		return nil, fmt.Errorf("rcuda: connection refused: %w", ErrServerBusy)
+	}
+	if isReattach {
+		// A reattach resumes a session that already holds its admission
+		// slot; only the connection cap applies.
 		return s.reattachSession(conn, r)
 	}
 	initReq, err := protocol.DecodeInitRequest(payload)
 	if err != nil {
 		return nil, fmt.Errorf("rcuda: malformed init: %w", err)
 	}
+	if admitErr := s.guard.acquireSession(s.doneCh); admitErr != nil {
+		s.counters.rejectedSessions.Add(1)
+		if sendErr := refuseBusy(conn, false); sendErr != nil {
+			return nil, sendErr
+		}
+		return nil, fmt.Errorf("rcuda: session refused: %w", admitErr)
+	}
+	sess, err := s.admitSession(conn, initReq)
+	if err != nil {
+		// The slot was claimed but no session materialized to carry it.
+		s.guard.releaseSession()
+		return nil, err
+	}
+	return sess, nil
+}
+
+// admitSession completes the handshake of an admitted init request.
+func (s *Server) admitSession(conn transport.Conn, initReq *protocol.InitRequest) (*session, error) {
 	initial := s.initialDevice()
 	maj, min := s.devs[initial].Capability()
 	mod, err := gpu.ResolveModule(initReq.Module)
@@ -321,7 +590,13 @@ func (s *Server) handshake(conn transport.Conn) (*session, error) {
 				_ = ctx.Destroy()
 				return nil, sendErr
 			}
-			return &session{srv: s, module: mod, ctxs: map[int]*gpu.Context{initial: ctx}, cur: initial}, nil
+			return &session{
+				srv:      s,
+				module:   mod,
+				ctxs:     map[int]*gpu.Context{initial: ctx},
+				cur:      initial,
+				slotHeld: s.guard.slots != nil,
+			}, nil
 		}
 	}
 	sendErr := conn.Send(&protocol.InitResponse{
@@ -344,33 +619,61 @@ const reattachWait = 2 * time.Second
 // reattachSession splices a parked durable session onto a fresh
 // connection. The session must exist and be detached; a session still
 // marked attached means the old connection's server goroutine has not yet
-// observed the fault, so the reattach polls briefly for the park.
+// observed the fault, so the reattach blocks on the session's park
+// notification — no polling — until the park, the wait bound, or server
+// shutdown wakes it.
 func (s *Server) reattachSession(conn transport.Conn, r *protocol.ReattachRequest) (*session, error) {
-	deadline := time.Now().Add(reattachWait)
+	timer := time.NewTimer(reattachWait)
+	defer timer.Stop()
 	for {
 		s.mu.Lock()
 		sess, known := s.registry[r.Session]
+		_, wasEvicted := s.evicted[r.Session]
 		closed := s.closed
 		if known && !closed && !sess.attached {
 			sess.attached = true
+			sess.parkCh = make(chan struct{})
 			cur := sess.cur
 			s.mu.Unlock()
 			maj, min := s.devs[cur].Capability()
 			if err := conn.Send(&protocol.ReattachResponse{CapabilityMajor: maj, CapabilityMinor: min}); err != nil {
+				// The splice failed on the wire; park the session again so
+				// another reattach (or the GC) can claim it.
 				s.mu.Lock()
 				sess.attached = false
+				sess.parkedAt = time.Now()
+				close(sess.parkCh)
+				s.maybeStartGCLocked()
 				s.mu.Unlock()
 				return nil, err
 			}
 			s.counters.reattaches.Add(1)
 			return sess, nil
 		}
+		var parked <-chan struct{}
+		if known && sess.attached {
+			parked = sess.parkCh
+		}
 		s.mu.Unlock()
-		if !known || closed || time.Now().After(deadline) {
+		switch {
+		case wasEvicted:
+			_ = conn.Send(&protocol.ReattachResponse{Err: protocol.CodeSessionEvicted})
+			return nil, fmt.Errorf("rcuda: reattach refused: session %d: %w", r.Session, ErrSessionEvicted)
+		case !known || closed:
 			_ = conn.Send(&protocol.ReattachResponse{Err: uint32(cudart.ErrorInitialization)})
 			return nil, fmt.Errorf("rcuda: reattach refused for session %d (known=%v)", r.Session, known)
 		}
-		time.Sleep(200 * time.Microsecond)
+		select {
+		case <-parked:
+			// Claimed on the next loop iteration.
+		case <-timer.C:
+			// Still attached after the full wait: the old connection never
+			// died. Transient from the client's perspective — busy.
+			_ = conn.Send(&protocol.ReattachResponse{Err: protocol.CodeServerBusy})
+			return nil, fmt.Errorf("rcuda: reattach timed out for attached session %d: %w", r.Session, ErrServerBusy)
+		case <-s.doneCh:
+			// Loop observes closed and refuses.
+		}
 	}
 }
 
@@ -380,6 +683,10 @@ func (s *Server) dispatch(conn transport.Conn, sess *session, req protocol.Reque
 	ctx := sess.context()
 	switch r := req.(type) {
 	case *protocol.MallocRequest:
+		if denial := s.checkQuota(sess, r.Size); denial != cudart.Success {
+			s.counters.quotaDenials.Add(1)
+			return false, conn.Send(&protocol.MallocResponse{Err: uint32(denial)})
+		}
 		ptr, opErr := ctx.Malloc(r.Size)
 		return false, conn.Send(&protocol.MallocResponse{
 			Err:    code(opErr),

@@ -21,17 +21,41 @@ type ServerStats struct {
 	// SessionsParked counts durable sessions whose connection died and
 	// whose state was kept for a reattach (cumulative, not a gauge).
 	SessionsParked int64
+	// RejectedConns counts connections refused by the concurrency cap
+	// (WithMaxConns).
+	RejectedConns int64
+	// RejectedSessions counts handshakes refused by the session cap or
+	// whose admission-queue wait expired (WithMaxSessions).
+	RejectedSessions int64
+	// QuotaDenials counts cudaMalloc requests refused by a per-session
+	// quota (WithSessionMemoryLimit, WithMaxAllocsPerSession).
+	QuotaDenials int64
+	// WatchdogKills counts connections killed because a transport
+	// operation overran the request deadline (WithRequestDeadline).
+	WatchdogKills int64
+	// Evictions counts parked durable sessions destroyed by the TTL
+	// garbage collector (WithParkedSessionTTL).
+	Evictions int64
+	// ForcedCloses counts connections force-closed because a drain or
+	// Close deadline expired before they finished.
+	ForcedCloses int64
 }
 
 // serverCounters backs Server.Stats with atomics.
 type serverCounters struct {
-	sessionsStarted atomic.Int64
-	sessionsActive  atomic.Int64
-	requests        atomic.Int64
-	bytesReceived   atomic.Int64
-	bytesSent       atomic.Int64
-	reattaches      atomic.Int64
-	sessionsParked  atomic.Int64
+	sessionsStarted  atomic.Int64
+	sessionsActive   atomic.Int64
+	requests         atomic.Int64
+	bytesReceived    atomic.Int64
+	bytesSent        atomic.Int64
+	reattaches       atomic.Int64
+	sessionsParked   atomic.Int64
+	rejectedConns    atomic.Int64
+	rejectedSessions atomic.Int64
+	quotaDenials     atomic.Int64
+	watchdogKills    atomic.Int64
+	evictions        atomic.Int64
+	forcedCloses     atomic.Int64
 }
 
 // Stats returns a snapshot of the daemon's counters.
@@ -44,7 +68,58 @@ func (s *Server) Stats() ServerStats {
 		BytesSent:       s.counters.bytesSent.Load(),
 		Reattaches:      s.counters.reattaches.Load(),
 		SessionsParked:  s.counters.sessionsParked.Load(),
+
+		RejectedConns:    s.counters.rejectedConns.Load(),
+		RejectedSessions: s.counters.rejectedSessions.Load(),
+		QuotaDenials:     s.counters.quotaDenials.Load(),
+		WatchdogKills:    s.counters.watchdogKills.Load(),
+		Evictions:        s.counters.evictions.Load(),
+		ForcedCloses:     s.counters.forcedCloses.Load(),
 	}
+}
+
+// DeviceUsage reports one device's live allocator state.
+type DeviceUsage struct {
+	Name        string
+	BytesInUse  uint64
+	Allocations int
+}
+
+// StatsSnapshot is a point-in-time operational view of the daemon: the
+// cumulative counters plus live gauges an operator needs to judge whether
+// the hardening limits are doing their job.
+type StatsSnapshot struct {
+	ServerStats
+	// SessionsLive counts sessions currently attached to a connection.
+	SessionsLive int64
+	// SessionsParkedNow counts durable sessions currently parked awaiting
+	// a reattach (a gauge, unlike the cumulative SessionsParked).
+	SessionsParkedNow int
+	// Devices reports each device's allocator occupancy.
+	Devices []DeviceUsage
+}
+
+// StatsSnapshot captures the daemon's current operational state.
+func (s *Server) StatsSnapshot() StatsSnapshot {
+	snap := StatsSnapshot{
+		ServerStats:  s.Stats(),
+		SessionsLive: s.counters.sessionsActive.Load(),
+	}
+	s.mu.Lock()
+	for _, sess := range s.registry {
+		if !sess.attached && !sess.destroyed {
+			snap.SessionsParkedNow++
+		}
+	}
+	s.mu.Unlock()
+	for _, dev := range s.devs {
+		snap.Devices = append(snap.Devices, DeviceUsage{
+			Name:        dev.Properties().Name,
+			BytesInUse:  dev.MemoryInUse(),
+			Allocations: dev.Allocations(),
+		})
+	}
+	return snap
 }
 
 // ClientStats are cumulative per-client resilience counters.

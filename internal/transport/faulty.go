@@ -62,6 +62,15 @@ func NewFaultyConn(inner Conn, plan *faults.Plan) Conn {
 // Inner returns the wrapped connection.
 func (f *FaultyConn) Inner() Conn { return f.inner }
 
+// SetOpTimeout implements DeadlineCapable by forwarding to the wrapped
+// connection, so a server watchdog sees through the fault layer; a no-op
+// when the inner connection has no deadline support.
+func (f *FaultyConn) SetOpTimeout(d time.Duration) {
+	if dc, ok := f.inner.(DeadlineCapable); ok {
+		dc.SetOpTimeout(d)
+	}
+}
+
 // sendFaulted applies d to a send of m and reports whether the operation
 // was fully handled (err then being its result).
 func (f *FaultyConn) sendFaulted(d faults.Decision, m protocol.Message) (handled bool, err error) {

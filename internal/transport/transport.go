@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +55,16 @@ type Conn interface {
 type TimedReceiver interface {
 	// RecvTimed is Recv plus the message's arrival instant.
 	RecvTimed() ([]byte, time.Duration, error)
+}
+
+// DeadlineCapable is implemented by connections whose individual Send and
+// Recv operations can be bounded in time. The rCUDA server's request
+// watchdog arms this so a peer that stalls mid-frame surfaces as
+// os.ErrDeadlineExceeded instead of pinning a handler goroutine forever.
+type DeadlineCapable interface {
+	// SetOpTimeout bounds every subsequent Send and Recv individually;
+	// zero disables the bound.
+	SetOpTimeout(d time.Duration)
 }
 
 // ScheduledSender is implemented by connections that can hold a message
@@ -147,7 +158,10 @@ type TCPConn struct {
 	lastRecv []byte               // previous Recv's pooled payload, recycled on the next Recv
 }
 
-var _ Conn = (*TCPConn)(nil)
+var (
+	_ Conn            = (*TCPConn)(nil)
+	_ DeadlineCapable = (*TCPConn)(nil)
+)
 
 // DialTCP connects to an rCUDA server, disabling Nagle's algorithm.
 func DialTCP(addr string) (*TCPConn, error) {
@@ -346,14 +360,39 @@ type PipeEnd struct {
 	done      chan struct{}
 	closeOnce *sync.Once
 	peer      *PipeEnd
-	lastRecv  []byte // previous Recv's pooled payload, recycled on the next Recv
+	lastRecv  []byte       // previous Recv's pooled payload, recycled on the next Recv
+	opTimeout atomic.Int64 // nanoseconds; 0 disables deadlines
 }
 
 var (
 	_ Conn            = (*PipeEnd)(nil)
 	_ TimedReceiver   = (*PipeEnd)(nil)
 	_ ScheduledSender = (*PipeEnd)(nil)
+	_ DeadlineCapable = (*PipeEnd)(nil)
 )
+
+// SetOpTimeout implements DeadlineCapable. The simulated clock only
+// advances while a peer is actively sending, so a stalled peer would block
+// a Recv forever on any clock; the bound therefore runs on wall time — the
+// frame of reference in which a hung goroutine actually hangs — while
+// clean operations keep their deterministic simulated timing.
+func (p *PipeEnd) SetOpTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.opTimeout.Store(int64(d))
+}
+
+// opDeadline returns a channel that fires when the configured per-op bound
+// expires, plus the timer to stop; both are nil with deadlines disabled.
+func (p *PipeEnd) opDeadline() (<-chan time.Time, *time.Timer) {
+	d := time.Duration(p.opTimeout.Load())
+	if d == 0 {
+		return nil, nil
+	}
+	t := time.NewTimer(d)
+	return t.C, t
+}
 
 // Pipe creates a connected pair of simulated connection ends over the given
 // interconnect. Every Send advances the shared clock by the link's modeled
@@ -390,12 +429,18 @@ func (p *PipeEnd) Send(m protocol.Message) error {
 	default:
 	}
 	p.clock.Sleep(wire)
+	expired, timer := p.opDeadline()
+	if timer != nil {
+		defer timer.Stop()
+	}
 	select {
 	case p.out <- pipeMsg{payload: payload, at: p.clock.Now()}:
 		p.onSend(len(payload))
 		return nil
 	case <-p.done:
 		return ErrClosed
+	case <-expired:
+		return fmt.Errorf("transport: pipe send: %w", os.ErrDeadlineExceeded)
 	}
 }
 
@@ -434,9 +479,15 @@ func (p *PipeEnd) RecvTimed() ([]byte, time.Duration, error) {
 		p.onRecv(len(msg.payload))
 		return msg.payload, msg.at, nil
 	}
+	expired, timer := p.opDeadline()
+	if timer != nil {
+		defer timer.Stop()
+	}
 	select {
 	case msg := <-p.in:
 		return deliver(msg)
+	case <-expired:
+		return nil, 0, fmt.Errorf("transport: pipe recv: %w", os.ErrDeadlineExceeded)
 	case <-p.done:
 		// Drain anything that raced with Close so shutdown is orderly.
 		select {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"net"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -449,5 +450,42 @@ func TestTCPOpTimeout(t *testing.T) {
 	}
 	if _, err := cli.Recv(); err != nil {
 		t.Fatalf("Recv with clamped negative timeout: %v", err)
+	}
+}
+
+// TestPipeOpDeadline checks the simulated pipe honors DeadlineCapable: a
+// receive with no sender and a send into a full, undrained pipe must both
+// fail with os.ErrDeadlineExceeded once armed, and the connection itself
+// must survive (a deadline is a watchdog signal, not a teardown).
+func TestPipeOpDeadline(t *testing.T) {
+	clk := vclock.NewSim()
+	cli, srv := Pipe(netsim.IB40G(), clk, nil)
+	defer cli.Close()
+	defer srv.Close()
+
+	var dc DeadlineCapable = srv // compile-time capability check
+	dc.SetOpTimeout(20 * time.Millisecond)
+
+	start := time.Now()
+	_, err := srv.Recv()
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("idle recv got %v, want os.ErrDeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("deadline fired after %v, want promptly", waited)
+	}
+
+	// Disarming restores indefinite blocking: a frame sent afterwards is
+	// received normally on the same, still-healthy connection.
+	dc.SetOpTimeout(0)
+	if err := cli.Send(&protocol.MallocRequest{Size: 64}); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := srv.Recv()
+	if err != nil {
+		t.Fatalf("recv after deadline: %v", err)
+	}
+	if _, err := protocol.DecodeRequest(payload); err != nil {
+		t.Fatalf("decode after deadline: %v", err)
 	}
 }
