@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify lint chaos soak bench fuzz repro figures experiments clean help
+.PHONY: all build test race verify lint chaos soak bench fuzz pool repro figures experiments clean help
 
 all: build test
 
@@ -18,6 +18,7 @@ help:
 	@echo "  soak         10k mixed ops at ~1% fault rate, leak-checked, under -race"
 	@echo "  bench        run all benchmarks"
 	@echo "  fuzz         short fuzzing pass over the wire-protocol decoders"
+	@echo "  pool         broker demo: 3 local daemons, one killed mid-batch"
 	@echo "  repro        regenerate every table and figure of the paper on stdout"
 	@echo "  figures      render the figures as SVGs under figs/"
 	@echo "  experiments  refresh EXPERIMENTS.md"
@@ -40,10 +41,10 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 
 # Tier-1 verification: full build + tests, the concurrent data-path packages
-# (transport framing, middleware streaming) under the race detector, and the
-# deterministic fault-injection suite.
+# (transport framing, middleware streaming, pool broker) under the race
+# detector, and the deterministic fault-injection suite.
 verify: build test chaos
-	$(GO) test -race ./internal/transport/... ./internal/rcuda/...
+	$(GO) test -race ./internal/transport/... ./internal/rcuda/... ./internal/broker/...
 
 # Chaos suite: every fault kind's transport semantics, the retry policy, and
 # the MM/FFT case studies under scripted and 50 consecutive seeded fault
@@ -65,6 +66,11 @@ bench:
 # Short fuzzing pass over the wire-protocol decoders.
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=30s ./internal/protocol/
+
+# Broker demo: spawn three local daemons, run a verified MM/FFT batch through
+# the pool, and kill one server mid-job to show failover with clean results.
+pool:
+	$(GO) run ./cmd/rcuda-broker -spawn 3 -kill -jobs 9
 
 # Regenerate every table and figure of the paper on stdout.
 repro:

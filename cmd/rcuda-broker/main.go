@@ -1,0 +1,214 @@
+// Command rcuda-broker runs a batch of verified GPU jobs through a live pool
+// of rCUDA daemons — the deployment-side analogue of the paper's cluster
+// sizing study: instead of simulating how many jobs N remote GPU servers can
+// absorb, it places real sessions on real daemons and reports the placement,
+// spill, and failover accounting.
+//
+// Point it at running daemons (cmd/rcudad):
+//
+//	rcuda-broker -servers host1:8308,host2:8308 -policy least-loaded -jobs 12
+//
+// or let it spawn an in-process pool for a self-contained demo, killing one
+// server mid-batch to exercise failover:
+//
+//	rcuda-broker -spawn 3 -kill -jobs 9
+//
+// Every job generates its own input data, runs MM or FFT on the placed
+// server, and verifies the result against a CPU oracle; a batch only counts
+// as clean when every job verifies.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"rcuda/internal/broker"
+	"rcuda/internal/calib"
+	"rcuda/internal/cudart"
+	"rcuda/internal/gpu"
+	"rcuda/internal/kernels"
+	"rcuda/internal/rcuda"
+	"rcuda/internal/transport"
+	"rcuda/internal/vclock"
+	"rcuda/internal/workload"
+)
+
+type spawned struct {
+	srv  *rcuda.Server
+	ln   net.Listener
+	addr string
+}
+
+func spawnServer(gpus int) (*spawned, error) {
+	opts := []rcuda.ServerOption{rcuda.WithCloseGrace(200 * time.Millisecond)}
+	if gpus > 1 {
+		extra := make([]*gpu.Device, gpus-1)
+		for i := range extra {
+			extra[i] = gpu.New(gpu.Config{Clock: vclock.NewWall()})
+		}
+		opts = append(opts, rcuda.WithDevices(extra...))
+	}
+	srv := rcuda.NewServer(gpu.New(gpu.Config{Clock: vclock.NewWall()}), opts...)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return &spawned{srv: srv, ln: ln, addr: ln.Addr().String()}, nil
+}
+
+func main() {
+	servers := flag.String("servers", "", "comma-separated daemon addresses; empty spawns an in-process pool")
+	spawn := flag.Int("spawn", 3, "number of in-process daemons to spawn when -servers is empty")
+	gpus := flag.Int("gpus", 1, "devices per spawned daemon")
+	policyName := flag.String("policy", "least-loaded", "placement policy: least-loaded, round-robin, network-aware")
+	jobs := flag.Int("jobs", 9, "number of jobs in the batch (alternating MM and FFT)")
+	mm := flag.Int("mm", 64, "MM matrix dimension (multiple of 16)")
+	fftBatch := flag.Int("fft", 8, "FFT batch size")
+	probe := flag.Duration("probe", 100*time.Millisecond, "background health-probe interval")
+	kill := flag.Bool("kill", false, "kill one spawned server mid-batch to exercise failover")
+	flag.Parse()
+
+	policy, err := broker.ParsePolicy(*policyName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var eps []broker.Endpoint
+	var local []*spawned
+	if *servers != "" {
+		if *kill {
+			log.Fatal("-kill only applies to spawned servers")
+		}
+		for _, addr := range strings.Split(*servers, ",") {
+			addr := strings.TrimSpace(addr)
+			eps = append(eps, broker.Endpoint{
+				Name: addr,
+				Dial: func() (transport.Conn, error) { return transport.DialTCP(addr) },
+			})
+		}
+	} else {
+		if *spawn < 1 {
+			log.Fatalf("-spawn %d: need at least one server", *spawn)
+		}
+		for i := 0; i < *spawn; i++ {
+			s, err := spawnServer(*gpus)
+			if err != nil {
+				log.Fatal(err)
+			}
+			local = append(local, s)
+			addr := s.addr
+			eps = append(eps, broker.Endpoint{
+				Name: fmt.Sprintf("local-%d", i),
+				Dial: func() (transport.Conn, error) { return transport.DialTCP(addr) },
+			})
+			log.Printf("spawned %s at %s (%d device(s))", eps[i].Name, addr, *gpus)
+		}
+		defer func() {
+			for _, s := range local {
+				_ = s.srv.Close()
+			}
+		}()
+	}
+
+	pool, err := broker.New(eps,
+		broker.WithPolicy(policy),
+		broker.WithProbeInterval(*probe))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+	pool.Refresh()
+
+	// With -kill, the first job placed on the last spawned server pulls the
+	// server out from under itself before doing its work, so the session is
+	// lost mid-run and the pool must replay the job elsewhere.
+	killed := false
+	victimName := ""
+	if *kill {
+		if len(local) < 2 {
+			log.Fatal("-kill needs at least two spawned servers")
+		}
+		victimName = eps[len(local)-1].Name
+	}
+	killVictim := func() {
+		victim := local[len(local)-1]
+		log.Printf("killing %s mid-job", victimName)
+		_ = victim.ln.Close()
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_ = victim.srv.Drain(ctx)
+	}
+
+	start := time.Now()
+	failed := 0
+	for i := 0; i < *jobs; i++ {
+		cs, size := calib.MM, *mm
+		if i%2 == 1 {
+			cs, size = calib.FFT, *fftBatch
+		}
+		mod, err := kernels.ModuleFor(cs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		img, err := mod.Binary()
+		if err != nil {
+			log.Fatal(err)
+		}
+		seed := int64(i) + 1
+		err = pool.Run(img, broker.JobSpec{CS: cs, Size: size}, func(rt cudart.Runtime) error {
+			if !killed && victimName != "" {
+				if s, ok := rt.(*broker.Session); ok && s.Endpoint == victimName {
+					killed = true
+					killVictim()
+				}
+			}
+			ok, err := workload.ExecuteFunctional(cs, size, rt, seed)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("job %d failed verification", i)
+			}
+			return nil
+		})
+		if err != nil {
+			log.Printf("job %d (%v size %d): %v", i, cs, size, err)
+			failed++
+			continue
+		}
+		log.Printf("job %d (%v size %d): verified", i, cs, size)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("\nbatch: %d jobs, %d failed, wall time %v, policy %s\n\n",
+		*jobs, failed, elapsed.Round(time.Millisecond), policy)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "endpoint\tup\tdevices\tsessions\tparked\tbytes\tbusy\tlast error")
+	for _, st := range pool.Endpoints() {
+		busy := time.Duration(st.BusyNanos).Round(time.Microsecond)
+		lastErr := st.LastErr
+		if lastErr == "" {
+			lastErr = "-"
+		}
+		fmt.Fprintf(w, "%s\t%t\t%d\t%d\t%d\t%d\t%v\t%s\n",
+			st.Name, st.Up, st.Devices, st.SessionsLive, st.SessionsParked,
+			st.BytesInUse, busy, lastErr)
+	}
+	w.Flush()
+
+	s := pool.Stats()
+	fmt.Printf("\nplacements %d, spills %d, failovers %d, probes %d (%d failed), markdowns %d, markups %d\n",
+		s.Placements, s.Spills, s.Failovers, s.Probes, s.ProbeFailures, s.Markdowns, s.Markups)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

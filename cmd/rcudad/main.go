@@ -43,7 +43,8 @@ func logSnapshot(logger *log.Logger, snap rcuda.StatsSnapshot) {
 	logger.Printf("stats: rejected conns=%d sessions=%d quota-denials=%d watchdog-kills=%d evictions=%d forced-closes=%d",
 		snap.RejectedConns, snap.RejectedSessions, snap.QuotaDenials, snap.WatchdogKills, snap.Evictions, snap.ForcedCloses)
 	for i, du := range snap.Devices {
-		logger.Printf("stats: device %d %q: %d bytes in %d allocations", i, du.Name, du.BytesInUse, du.Allocations)
+		logger.Printf("stats: device %d %q: %d bytes in %d allocations, %d sessions, busy %v",
+			i, du.Name, du.BytesInUse, du.Allocations, du.Sessions, du.Busy)
 	}
 }
 
@@ -51,6 +52,7 @@ func main() {
 	listen := flag.String("listen", ":8308", "TCP address to listen on")
 	memMiB := flag.Uint64("mem", 4096, "device memory in MiB (Tesla C1060: 4096)")
 	gpus := flag.Int("gpus", 1, "number of GPUs this node serves")
+	devices := flag.Int("devices", 0, "alias for -gpus (broker deployments use this name); 0 defers to -gpus")
 	spread := flag.Bool("spread", false, "start sessions on the GPUs round robin instead of device 0")
 	quiet := flag.Bool("quiet", false, "suppress per-session logging")
 
@@ -64,6 +66,12 @@ func main() {
 	parkedTTL := flag.Duration("parked-ttl", 0, "destroy parked durable sessions not reattached within this (0 = keep until shutdown)")
 	drainGrace := flag.Duration("drain-grace", rcuda.DefaultCloseGrace, "how long shutdown lets in-flight sessions finish")
 	flag.Parse()
+	if *devices != 0 {
+		if *devices < 1 {
+			log.Fatalf("rcudad: -devices %d must be at least 1", *devices)
+		}
+		*gpus = *devices
+	}
 	if *gpus < 1 {
 		log.Fatalf("rcudad: -gpus %d must be at least 1", *gpus)
 	}

@@ -1,0 +1,375 @@
+// Package broker federates multiple rcudad servers behind a single client:
+// a GPU pool. The paper's Figure 1 cluster has a few GPU-equipped nodes
+// serving many clients; package cluster answers the sizing question with an
+// offline list-scheduling model, and this package is the live counterpart —
+// a client-side pool that registers N server endpoints, tracks their load
+// through the StatsQuery protocol, places each session on the best server
+// under a pluggable policy, and fails sessions over when a server refuses
+// admission or dies mid-job.
+//
+// Sessions opened through the pool are plain rcuda clients: every policy
+// decision happens at placement time, after which the application talks to
+// its server directly with no broker on the data path.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rcuda/internal/calib"
+	"rcuda/internal/cudart"
+	"rcuda/internal/netsim"
+	"rcuda/internal/protocol"
+	"rcuda/internal/rcuda"
+	"rcuda/internal/transport"
+)
+
+// ErrNoServers reports that every registered endpoint was tried (or is
+// excluded) and none could take the session.
+var ErrNoServers = errors.New("broker: no server available")
+
+// Endpoint describes one rcudad server the pool can place sessions on.
+type Endpoint struct {
+	// Name identifies the server in stats and errors.
+	Name string
+	// Dial opens a fresh session connection to the server.
+	Dial func() (transport.Conn, error)
+	// ProbeDial, when set, opens health-probe connections instead of Dial —
+	// an out-of-band management network, or in the simulated experiments a
+	// pipe on a throwaway clock so probe traffic does not perturb the
+	// server's timeline. Nil falls back to Dial.
+	ProbeDial func() (transport.Conn, error)
+	// Link optionally characterizes the interconnect to this server; the
+	// network-aware policy ranks endpoints by estimated transfer time on it.
+	Link *netsim.Link
+}
+
+// endpointState is the pool's live view of one endpoint.
+type endpointState struct {
+	ep      Endpoint
+	up      bool
+	lastErr error
+	// load is the last successful probe reply; nil before the first probe.
+	load *protocol.StatsReply
+	// placed counts sessions this pool placed on the endpoint since the
+	// last probe, so a burst of placements between probes does not stampede
+	// the currently least-loaded server.
+	placed int64
+	// probeConn is the persistent health-probe connection.
+	probeConn transport.Conn
+}
+
+// JobSpec declares what a session is going to do, as far as the placement
+// policy cares: either a calibrated case study at a size, or a raw transfer
+// volume. The zero value is a valid "unknown" spec.
+type JobSpec struct {
+	CS   calib.CaseStudy
+	Size int
+	// TransferBytes is the declared data volume for jobs that are not one
+	// of the calibrated case studies; the network-aware policy falls back
+	// to ranking by payload time for this many bytes.
+	TransferBytes int64
+}
+
+// Pool is a client-side GPU pool over a set of rcudad endpoints.
+type Pool struct {
+	mu     sync.Mutex
+	eps    []*endpointState
+	policy Policy
+	rr     int
+
+	clientOpts []rcuda.ClientOption
+	stats      poolCounters
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+}
+
+// Option configures New.
+type Option func(*Pool)
+
+// WithPolicy selects the placement policy; the default is LeastLoaded.
+func WithPolicy(p Policy) Option {
+	return func(pl *Pool) { pl.policy = p }
+}
+
+// WithClientOptions appends options applied to every session the pool
+// opens, after the pool's own retry and reconnect defaults — so they can
+// override them.
+func WithClientOptions(opts ...rcuda.ClientOption) Option {
+	return func(pl *Pool) { pl.clientOpts = append(pl.clientOpts, opts...) }
+}
+
+// WithProbeInterval starts a background prober that refreshes every
+// endpoint's load and health at the given period. Zero (the default) means
+// no background probing; call Refresh explicitly.
+func WithProbeInterval(d time.Duration) Option {
+	return func(pl *Pool) {
+		if d > 0 {
+			pl.probeStop = make(chan struct{})
+			pl.probeDone = make(chan struct{})
+			go pl.probeLoop(d)
+		}
+	}
+}
+
+// New builds a pool over the endpoints. All endpoints start marked up;
+// probes and placement failures adjust the marks from there.
+func New(eps []Endpoint, opts ...Option) (*Pool, error) {
+	if len(eps) == 0 {
+		return nil, errors.New("broker: a pool needs at least one endpoint")
+	}
+	p := &Pool{}
+	for i, ep := range eps {
+		if ep.Dial == nil {
+			return nil, fmt.Errorf("broker: endpoint %d (%q) has no Dial", i, ep.Name)
+		}
+		if ep.Name == "" {
+			ep.Name = fmt.Sprintf("server-%d", i)
+		}
+		p.eps = append(p.eps, &endpointState{ep: ep, up: true})
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p, nil
+}
+
+// Close stops the background prober and closes every probe connection.
+// Sessions already opened through the pool are unaffected.
+func (p *Pool) Close() error {
+	if p.probeStop != nil {
+		close(p.probeStop)
+		<-p.probeDone
+		p.probeStop = nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, st := range p.eps {
+		if st.probeConn != nil {
+			_ = st.probeConn.Close()
+			st.probeConn = nil
+		}
+	}
+	return nil
+}
+
+func (p *Pool) probeLoop(d time.Duration) {
+	defer close(p.probeDone)
+	t := time.NewTicker(d)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.probeStop:
+			return
+		case <-t.C:
+			p.Refresh()
+		}
+	}
+}
+
+// Refresh synchronously probes every endpoint once: it sends a StatsQuery
+// on the endpoint's persistent probe connection (dialing one if needed),
+// records the load reply, and marks the endpoint up. A failed probe marks
+// it down and drops the connection so the next round redials.
+func (p *Pool) Refresh() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, st := range p.eps {
+		p.probeOne(st)
+	}
+}
+
+// probeOne runs one probe exchange; the caller holds p.mu.
+func (p *Pool) probeOne(st *endpointState) {
+	p.stats.probes.Add(1)
+	reply, err := st.probe()
+	if err != nil {
+		p.stats.probeFailures.Add(1)
+		if st.up {
+			st.up = false
+			p.stats.markdowns.Add(1)
+		}
+		st.lastErr = err
+		return
+	}
+	st.load = reply
+	st.placed = 0
+	st.lastErr = nil
+	if !st.up {
+		st.up = true
+		p.stats.markups.Add(1)
+	}
+}
+
+// probe performs the wire exchange for one probe, managing the persistent
+// connection.
+func (st *endpointState) probe() (*protocol.StatsReply, error) {
+	if st.probeConn == nil {
+		dial := st.ep.ProbeDial
+		if dial == nil {
+			dial = st.ep.Dial
+		}
+		conn, err := dial()
+		if err != nil {
+			return nil, fmt.Errorf("broker: probe dial %s: %w", st.ep.Name, err)
+		}
+		st.probeConn = conn
+	}
+	fail := func(err error) (*protocol.StatsReply, error) {
+		_ = st.probeConn.Close()
+		st.probeConn = nil
+		return nil, fmt.Errorf("broker: probe %s: %w", st.ep.Name, err)
+	}
+	if err := st.probeConn.Send(&protocol.StatsQueryRequest{}); err != nil {
+		return fail(err)
+	}
+	payload, err := st.probeConn.Recv()
+	if err != nil {
+		return fail(err)
+	}
+	reply, err := protocol.DecodeStatsReply(payload)
+	if err != nil {
+		return fail(err)
+	}
+	if cerr := cudart.Error(reply.Err).AsError(); cerr != nil {
+		return fail(cerr)
+	}
+	return reply, nil
+}
+
+// Session is a pool-placed rcuda session: a full cudart runtime plus where
+// it landed.
+type Session struct {
+	*rcuda.Client
+	// Endpoint names the server the session was placed on.
+	Endpoint string
+	idx      int
+}
+
+// Open places a new session on the best endpoint under the pool's policy
+// and returns it. A server that refuses admission (rcuda.ErrServerBusy)
+// spills the session to the next-best endpoint; a server whose connection
+// fails outright is marked down and likewise skipped. Open fails with
+// ErrNoServers only after every endpoint was tried.
+func (p *Pool) Open(module []byte, spec JobSpec) (*Session, error) {
+	return p.open(module, spec, make(map[int]bool))
+}
+
+func (p *Pool) open(module []byte, spec JobSpec, exclude map[int]bool) (*Session, error) {
+	var lastErr error
+	for {
+		p.mu.Lock()
+		idx, ok := p.pickLocked(spec, exclude)
+		p.mu.Unlock()
+		if !ok {
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last error: %v)", ErrNoServers, lastErr)
+			}
+			return nil, ErrNoServers
+		}
+		sess, err := p.tryOpen(idx, module)
+		if err == nil {
+			return sess, nil
+		}
+		exclude[idx] = true
+		lastErr = err
+		if errors.Is(err, rcuda.ErrServerBusy) {
+			// Admission refusal: the server is healthy, just full. Spill.
+			p.stats.spills.Add(1)
+			continue
+		}
+		// Connection-level failure: mark the endpoint down until a probe
+		// sees it again.
+		p.noteFailure(idx, err)
+	}
+}
+
+// tryOpen dials one endpoint and opens a durable session on it.
+func (p *Pool) tryOpen(idx int, module []byte) (*Session, error) {
+	p.mu.Lock()
+	ep := p.eps[idx].ep
+	p.mu.Unlock()
+	conn, err := ep.Dial()
+	if err != nil {
+		return nil, fmt.Errorf("broker: dial %s: %w", ep.Name, err)
+	}
+	opts := append([]rcuda.ClientOption{
+		rcuda.WithRetry(4, time.Millisecond),
+		rcuda.WithReconnect(ep.Dial),
+	}, p.clientOpts...)
+	client, err := rcuda.Open(conn, module, opts...)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	p.mu.Lock()
+	p.eps[idx].placed++
+	p.mu.Unlock()
+	p.stats.placements.Add(1)
+	return &Session{Client: client, Endpoint: ep.Name, idx: idx}, nil
+}
+
+// noteFailure marks an endpoint down after a placement or session failure.
+func (p *Pool) noteFailure(idx int, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.eps[idx]
+	st.lastErr = err
+	if st.up {
+		st.up = false
+		p.stats.markdowns.Add(1)
+	}
+}
+
+// Run executes job in a pool-placed session with failover: the session is
+// opened on the best endpoint, and if the job is interrupted by a lost
+// session — the server died and the client's own reattach could not revive
+// it — the whole job is replayed from a clean session on another endpoint.
+// The job closure must therefore be restartable from scratch: it sees a
+// fresh runtime each attempt and must not keep device state across calls.
+// CUDA errors and other non-connection failures are returned as-is, without
+// failover — they would fail identically anywhere.
+func (p *Pool) Run(module []byte, spec JobSpec, job func(cudart.Runtime) error) error {
+	exclude := make(map[int]bool)
+	for {
+		sess, err := p.open(module, spec, exclude)
+		if err != nil {
+			return err
+		}
+		jobErr := job(sess)
+		closeErr := sess.Close()
+		if jobErr == nil {
+			if closeErr != nil && isSessionLoss(closeErr) {
+				// The job's work completed and verified; a connection that
+				// died delivering the finalization is the server's problem.
+				return nil
+			}
+			return closeErr
+		}
+		if !isSessionLoss(jobErr) {
+			return jobErr
+		}
+		p.stats.failovers.Add(1)
+		p.noteFailure(sess.idx, jobErr)
+		exclude[sess.idx] = true
+	}
+}
+
+// isSessionLoss reports whether err means the session (or its server) is
+// gone, as opposed to a CUDA-level or application failure.
+func isSessionLoss(err error) bool {
+	return errors.Is(err, rcuda.ErrSessionLost) ||
+		errors.Is(err, transport.ErrClosed) ||
+		errors.Is(err, transport.ErrInjectedReset) ||
+		errors.Is(err, transport.ErrTruncatedFrame)
+}
+
+// size returns the endpoint count.
+func (p *Pool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.eps)
+}

@@ -1,0 +1,270 @@
+package broker
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rcuda/internal/calib"
+	"rcuda/internal/cudart"
+	"rcuda/internal/fft"
+	"rcuda/internal/gpu"
+	"rcuda/internal/kernels"
+	"rcuda/internal/rcuda"
+	"rcuda/internal/transport"
+	"rcuda/internal/vclock"
+)
+
+// chaosJob is one replayable unit of work: it builds its inputs from the
+// seed, runs the case study on any runtime, and returns the result bytes as
+// read back from the device — the basis of the bit-exactness check.
+type chaosJob struct {
+	cs   calib.CaseStudy
+	size int
+	seed int64
+}
+
+func (j chaosJob) run(rt cudart.Runtime) ([]byte, error) {
+	switch j.cs {
+	case calib.MM:
+		return runMMBytes(rt, j.size, j.seed)
+	default:
+		return runFFTBytes(rt, j.size, j.seed)
+	}
+}
+
+// runMMBytes multiplies two seeded m×m matrices on rt and returns the raw
+// result bytes.
+func runMMBytes(rt cudart.Runtime, m int, seed int64) ([]byte, error) {
+	a, b := seededMatrices(m, seed)
+	nbytes := uint32(4 * m * m)
+	var ptrs [3]cudart.DevicePtr
+	for i := range ptrs {
+		p, err := rt.Malloc(nbytes)
+		if err != nil {
+			return nil, err
+		}
+		ptrs[i] = p
+	}
+	if err := rt.MemcpyToDevice(ptrs[0], cudart.Float32Bytes(a)); err != nil {
+		return nil, err
+	}
+	if err := rt.MemcpyToDevice(ptrs[1], cudart.Float32Bytes(b)); err != nil {
+		return nil, err
+	}
+	grid := cudart.Dim3{X: uint32(m / 16), Y: uint32(m / 16)}
+	block := cudart.Dim3{X: 16, Y: 16}
+	if err := rt.Launch(kernels.SgemmKernel, grid, block, 0,
+		gpu.PackParams(uint32(ptrs[0]), uint32(ptrs[1]), uint32(ptrs[2]), uint32(m))); err != nil {
+		return nil, err
+	}
+	out := make([]byte, nbytes)
+	if err := rt.MemcpyToHost(out, ptrs[2]); err != nil {
+		return nil, err
+	}
+	for _, p := range ptrs {
+		if err := rt.Free(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func seededMatrices(m int, seed int64) (a, b []float32) {
+	rng := rand.New(rand.NewSource(seed))
+	a = make([]float32, m*m)
+	b = make([]float32, m*m)
+	for i := range a {
+		a[i] = rng.Float32()*2 - 1
+		b[i] = rng.Float32()*2 - 1
+	}
+	return a, b
+}
+
+// runFFTBytes transforms a seeded batch of signals on rt and returns the
+// raw spectrum bytes.
+func runFFTBytes(rt cudart.Runtime, batch int, seed int64) ([]byte, error) {
+	rng := rand.New(rand.NewSource(seed))
+	signal := make([]complex64, batch*fft.Points)
+	for i := range signal {
+		signal[i] = complex(rng.Float32()*2-1, rng.Float32()*2-1)
+	}
+	raw := cudart.Complex64Bytes(signal)
+	ptr, err := rt.Malloc(uint32(len(raw)))
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.MemcpyToDevice(ptr, raw); err != nil {
+		return nil, err
+	}
+	if err := rt.Launch(kernels.FFTKernel, cudart.Dim3{X: uint32(batch)}, cudart.Dim3{X: 64}, 0,
+		gpu.PackParams(uint32(ptr), uint32(batch), 0)); err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(raw))
+	if err := rt.MemcpyToHost(out, ptr); err != nil {
+		return nil, err
+	}
+	if err := rt.Free(ptr); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// goldenBytes runs the job on a local single-GPU runtime: the reference the
+// pool's results must match bit for bit.
+func goldenBytes(t *testing.T, j chaosJob) []byte {
+	t.Helper()
+	mod, err := kernels.ModuleFor(j.cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := cudart.OpenLocal(gpu.New(gpu.Config{Clock: vclock.NewSim()}), mod, cudart.Preinitialized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	out, err := j.run(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestChaosKillServerMidBatch runs a batch of MM and FFT jobs through a
+// pool of three TCP servers and kills one while jobs are mid-flight on it.
+// Every job must finish with results bit-identical to a local run, and the
+// pool's books must balance: every extra invocation of a job closure is one
+// counted failover.
+func TestChaosKillServerMidBatch(t *testing.T) {
+	const nServers = 3
+	type server struct {
+		srv  *rcuda.Server
+		ln   net.Listener
+		addr string
+	}
+	servers := make([]*server, nServers)
+	eps := make([]Endpoint, nServers)
+	for i := range servers {
+		dev := gpu.New(gpu.Config{Clock: vclock.NewWall()})
+		srv := rcuda.NewServer(dev)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = srv.Serve(ln) }()
+		addr := ln.Addr().String()
+		servers[i] = &server{srv: srv, ln: ln, addr: addr}
+		eps[i] = Endpoint{
+			Name: fmt.Sprintf("s%d", i),
+			Dial: func() (transport.Conn, error) { return transport.DialTCP(addr) },
+		}
+	}
+	defer func() {
+		for _, s := range servers {
+			_ = s.srv.Close()
+		}
+	}()
+
+	pool, err := New(eps, WithPolicy(RoundRobin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const victim = "s1"
+	jobs := []chaosJob{
+		{calib.MM, 32, 11}, {calib.FFT, 4, 12}, {calib.MM, 48, 13},
+		{calib.FFT, 8, 14}, {calib.MM, 32, 15}, {calib.FFT, 4, 16},
+		{calib.MM, 48, 17}, {calib.FFT, 8, 18}, {calib.MM, 32, 19},
+	}
+	golden := make([][]byte, len(jobs))
+	for i, j := range jobs {
+		golden[i] = goldenBytes(t, j)
+	}
+
+	// Jobs that land on the victim hold — session open, module loaded —
+	// until the kill has happened, guaranteeing they are mid-batch on the
+	// dying server rather than racing to finish first.
+	readyToKill := make(chan struct{}, len(jobs))
+	killDone := make(chan struct{})
+	var attempts atomic.Int64
+
+	results := make([][]byte, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mod, err := kernels.ModuleFor(j.cs)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			img, err := mod.Binary()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = pool.Run(img, JobSpec{CS: j.cs, Size: j.size}, func(rt cudart.Runtime) error {
+				attempts.Add(1)
+				if s, ok := rt.(*Session); ok && s.Endpoint == victim {
+					select {
+					case <-killDone:
+						// Replaying after the kill: the victim cannot be
+						// picked again, so this cannot happen; if it does,
+						// just run.
+					default:
+						readyToKill <- struct{}{}
+						<-killDone
+					}
+				}
+				out, err := j.run(rt)
+				if err != nil {
+					return err
+				}
+				results[i] = out
+				return nil
+			})
+		}()
+	}
+
+	// Kill the victim once at least one job is parked on it mid-batch.
+	<-readyToKill
+	_ = servers[1].ln.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired: force-close every connection immediately
+	_ = servers[1].srv.Drain(ctx)
+	close(killDone)
+
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d failed: %v", i, err)
+		}
+		if !bytes.Equal(results[i], golden[i]) {
+			t.Fatalf("job %d result differs from the local run", i)
+		}
+	}
+
+	stats := pool.Stats()
+	extra := attempts.Load() - int64(len(jobs))
+	if stats.Failovers != extra {
+		t.Fatalf("failovers = %d, but %d extra job invocations ran", stats.Failovers, extra)
+	}
+	if stats.Failovers == 0 {
+		t.Fatal("the kill produced no failovers — nothing was mid-flight on the victim")
+	}
+	if stats.Placements != attempts.Load() {
+		t.Fatalf("placements = %d, want one per job invocation (%d)", stats.Placements, attempts.Load())
+	}
+	if st := pool.Endpoints(); st[1].Up {
+		t.Fatalf("victim endpoint still marked up: %+v", st[1])
+	}
+}

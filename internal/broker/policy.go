@@ -1,0 +1,172 @@
+package broker
+
+import (
+	"fmt"
+	"time"
+
+	"rcuda/internal/perfmodel"
+)
+
+// Policy selects how the pool places sessions on endpoints. The names
+// mirror package cluster's scheduling policies, so a live deployment can be
+// configured with the same vocabulary the offline sizing study uses.
+type Policy int
+
+// Placement policies.
+const (
+	// LeastLoaded places each session on the endpoint with the lightest
+	// live load, ranked by the last probe's gauges: attached sessions
+	// first (plus any sessions this pool placed since the probe), then
+	// cumulative device busy time, then memory in use, then endpoint
+	// order. With sequential submission this reproduces the cluster
+	// simulator's least-loaded list scheduling.
+	LeastLoaded Policy = iota
+	// RoundRobin cycles through the live endpoints regardless of load.
+	RoundRobin
+	// NetworkAware ranks endpoints by the estimated time to move the
+	// job's data over each endpoint's declared interconnect — the
+	// perfmodel transfer estimate for a calibrated case study, or the raw
+	// payload time for a declared byte volume — breaking ties by load.
+	// Endpoints with no declared link rank last.
+	NetworkAware
+)
+
+// String implements fmt.Stringer with the cluster package's names.
+func (p Policy) String() string {
+	switch p {
+	case LeastLoaded:
+		return "least-loaded"
+	case RoundRobin:
+		return "round-robin"
+	case NetworkAware:
+		return "network-aware"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a policy name (as printed by String) to its value.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "least-loaded":
+		return LeastLoaded, nil
+	case "round-robin":
+		return RoundRobin, nil
+	case "network-aware":
+		return NetworkAware, nil
+	default:
+		return 0, fmt.Errorf("broker: unknown policy %q", s)
+	}
+}
+
+// loadKey is the lexicographic load ranking of one endpoint.
+type loadKey struct {
+	sessions int64
+	busy     uint64
+	bytes    uint64
+}
+
+func (st *endpointState) loadKey() loadKey {
+	k := loadKey{sessions: st.placed}
+	if st.load != nil {
+		k.sessions += int64(st.load.SessionsLive)
+		for _, d := range st.load.Devices {
+			k.busy += d.BusyNanos
+			k.bytes += d.BytesInUse
+		}
+	}
+	return k
+}
+
+func lighterLoad(a, b loadKey) bool {
+	if a.sessions != b.sessions {
+		return a.sessions < b.sessions
+	}
+	if a.busy != b.busy {
+		return a.busy < b.busy
+	}
+	return a.bytes < b.bytes
+}
+
+// transferEstimate is the network-aware policy's score: how long moving the
+// job's declared data over this endpoint's link would take. ok is false
+// when the endpoint declares no link or the spec declares no volume.
+func transferEstimate(st *endpointState, spec JobSpec) (time.Duration, bool) {
+	if st.ep.Link == nil {
+		return 0, false
+	}
+	if spec.Size > 0 {
+		return perfmodel.TotalTransferTime(st.ep.Link, spec.CS, spec.Size), true
+	}
+	if spec.TransferBytes > 0 {
+		return st.ep.Link.PayloadTime(spec.TransferBytes), true
+	}
+	return 0, false
+}
+
+// pickLocked selects the next endpoint for a session under the pool's
+// policy, considering endpoints not in exclude. Marked-up endpoints are
+// preferred; if every candidate is marked down they are considered anyway —
+// a markdown is advisory and the alternative is refusing outright on
+// possibly stale probe data. The caller holds p.mu.
+func (p *Pool) pickLocked(spec JobSpec, exclude map[int]bool) (int, bool) {
+	candidate := func(i int, wantUp bool) bool {
+		return !exclude[i] && p.eps[i].up == wantUp
+	}
+	for _, wantUp := range []bool{true, false} {
+		if idx, ok := p.pickAmong(spec, func(i int) bool { return candidate(i, wantUp) }); ok {
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+func (p *Pool) pickAmong(spec JobSpec, candidate func(int) bool) (int, bool) {
+	switch p.policy {
+	case RoundRobin:
+		for k := 0; k < len(p.eps); k++ {
+			i := (p.rr + k) % len(p.eps)
+			if candidate(i) {
+				p.rr = i + 1
+				return i, true
+			}
+		}
+		return 0, false
+	case NetworkAware:
+		best, found := 0, false
+		var bestEst time.Duration
+		var bestHas bool
+		for i, st := range p.eps {
+			if !candidate(i) {
+				continue
+			}
+			est, has := transferEstimate(st, spec)
+			better := false
+			switch {
+			case !found:
+				better = true
+			case has != bestHas:
+				better = has // a linked endpoint beats an unranked one
+			case has && est != bestEst:
+				better = est < bestEst
+			default:
+				better = lighterLoad(st.loadKey(), p.eps[best].loadKey())
+			}
+			if better {
+				best, found, bestEst, bestHas = i, true, est, has
+			}
+		}
+		return best, found
+	default: // LeastLoaded
+		best, found := 0, false
+		for i, st := range p.eps {
+			if !candidate(i) {
+				continue
+			}
+			if !found || lighterLoad(st.loadKey(), p.eps[best].loadKey()) {
+				best, found = i, true
+			}
+		}
+		return best, found
+	}
+}

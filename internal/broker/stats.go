@@ -1,0 +1,95 @@
+package broker
+
+import "sync/atomic"
+
+// PoolStats are the pool's cumulative placement and health counters.
+type PoolStats struct {
+	// Placements counts sessions successfully opened through the pool.
+	Placements int64
+	// Spills counts placements that moved to the next-best endpoint
+	// because the preferred server refused admission (ErrServerBusy).
+	Spills int64
+	// Failovers counts jobs replayed on another endpoint after their
+	// session was lost mid-run.
+	Failovers int64
+	// Probes and ProbeFailures count health-probe exchanges.
+	Probes        int64
+	ProbeFailures int64
+	// Markdowns and Markups count endpoint health transitions — one flap
+	// is one markdown plus one markup.
+	Markdowns int64
+	Markups   int64
+}
+
+type poolCounters struct {
+	placements    atomic.Int64
+	spills        atomic.Int64
+	failovers     atomic.Int64
+	probes        atomic.Int64
+	probeFailures atomic.Int64
+	markdowns     atomic.Int64
+	markups       atomic.Int64
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Placements:    p.stats.placements.Load(),
+		Spills:        p.stats.spills.Load(),
+		Failovers:     p.stats.failovers.Load(),
+		Probes:        p.stats.probes.Load(),
+		ProbeFailures: p.stats.probeFailures.Load(),
+		Markdowns:     p.stats.markdowns.Load(),
+		Markups:       p.stats.markups.Load(),
+	}
+}
+
+// EndpointStatus is the pool's current view of one endpoint.
+type EndpointStatus struct {
+	Name string
+	Up   bool
+	// LastErr is the most recent probe or placement failure, empty when
+	// healthy.
+	LastErr string
+	// Probed reports whether a probe has ever succeeded; the gauges below
+	// are zero until it has.
+	Probed         bool
+	SessionsLive   uint32
+	SessionsParked uint32
+	Devices        int
+	BytesInUse     uint64
+	BusyNanos      uint64
+	// PlacedSinceProbe counts sessions this pool placed since the gauges
+	// were last refreshed.
+	PlacedSinceProbe int64
+}
+
+// Endpoints reports every endpoint's health and last-probed load, in
+// registration order.
+func (p *Pool) Endpoints() []EndpointStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]EndpointStatus, 0, len(p.eps))
+	for _, st := range p.eps {
+		es := EndpointStatus{
+			Name:             st.ep.Name,
+			Up:               st.up,
+			Probed:           st.load != nil,
+			PlacedSinceProbe: st.placed,
+		}
+		if st.lastErr != nil {
+			es.LastErr = st.lastErr.Error()
+		}
+		if st.load != nil {
+			es.SessionsLive = st.load.SessionsLive
+			es.SessionsParked = st.load.SessionsParked
+			es.Devices = len(st.load.Devices)
+			for _, d := range st.load.Devices {
+				es.BytesInUse += d.BytesInUse
+				es.BusyNanos += d.BusyNanos
+			}
+		}
+		out = append(out, es)
+	}
+	return out
+}

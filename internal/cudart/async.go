@@ -58,23 +58,23 @@ var _ AsyncRuntime = (*Local)(nil)
 
 // StreamCreate implements AsyncRuntime.
 func (l *Local) StreamCreate() (Stream, error) {
-	s, err := l.ctx.StreamCreate()
+	s, err := l.ctx().StreamCreate()
 	return Stream(s), mapGPUError(err)
 }
 
 // StreamSynchronize implements AsyncRuntime.
 func (l *Local) StreamSynchronize(s Stream) error {
-	return mapGPUError(l.ctx.StreamSynchronize(uint32(s)))
+	return mapGPUError(l.ctx().StreamSynchronize(uint32(s)))
 }
 
 // StreamDestroy implements AsyncRuntime.
 func (l *Local) StreamDestroy(s Stream) error {
-	return mapGPUError(l.ctx.StreamDestroy(uint32(s)))
+	return mapGPUError(l.ctx().StreamDestroy(uint32(s)))
 }
 
 // StreamQuery implements AsyncRuntime.
 func (l *Local) StreamQuery(s Stream) error {
-	ready, err := l.ctx.StreamReady(uint32(s))
+	ready, err := l.ctx().StreamReady(uint32(s))
 	if err != nil {
 		return mapGPUError(err)
 	}
@@ -86,7 +86,7 @@ func (l *Local) StreamQuery(s Stream) error {
 
 // EventQuery implements AsyncRuntime.
 func (l *Local) EventQuery(e Event) error {
-	ready, err := l.ctx.EventReady(uint32(e))
+	ready, err := l.ctx().EventReady(uint32(e))
 	if err != nil {
 		return mapGPUError(err)
 	}
@@ -98,12 +98,12 @@ func (l *Local) EventQuery(e Event) error {
 
 // MemcpyToDeviceAsync implements AsyncRuntime.
 func (l *Local) MemcpyToDeviceAsync(dst DevicePtr, src []byte, s Stream) error {
-	return mapGPUError(l.ctx.CopyToDeviceAsync(uint32(dst), src, uint32(s)))
+	return mapGPUError(l.ctx().CopyToDeviceAsync(uint32(dst), src, uint32(s)))
 }
 
 // MemcpyToHostAsync implements AsyncRuntime.
 func (l *Local) MemcpyToHostAsync(dst []byte, src DevicePtr, s Stream) error {
-	data, err := l.ctx.CopyToHostAsync(uint32(src), uint32(len(dst)), uint32(s))
+	data, err := l.ctx().CopyToHostAsync(uint32(src), uint32(len(dst)), uint32(s))
 	if err != nil {
 		return mapGPUError(err)
 	}
@@ -113,32 +113,32 @@ func (l *Local) MemcpyToHostAsync(dst []byte, src DevicePtr, s Stream) error {
 
 // LaunchAsync implements AsyncRuntime.
 func (l *Local) LaunchAsync(name string, grid, block Dim3, shared uint32, params []byte, s Stream) error {
-	return mapGPUError(l.ctx.LaunchAsync(name, grid, block, shared, params, uint32(s)))
+	return mapGPUError(l.ctx().LaunchAsync(name, grid, block, shared, params, uint32(s)))
 }
 
 // EventCreate implements AsyncRuntime.
 func (l *Local) EventCreate() (Event, error) {
-	e, err := l.ctx.EventCreate()
+	e, err := l.ctx().EventCreate()
 	return Event(e), mapGPUError(err)
 }
 
 // EventRecord implements AsyncRuntime.
 func (l *Local) EventRecord(e Event, s Stream) error {
-	return mapGPUError(l.ctx.EventRecord(uint32(e), uint32(s)))
+	return mapGPUError(l.ctx().EventRecord(uint32(e), uint32(s)))
 }
 
 // EventSynchronize implements AsyncRuntime.
 func (l *Local) EventSynchronize(e Event) error {
-	return mapGPUError(l.ctx.EventSynchronize(uint32(e)))
+	return mapGPUError(l.ctx().EventSynchronize(uint32(e)))
 }
 
 // EventElapsed implements AsyncRuntime.
 func (l *Local) EventElapsed(start, end Event) (time.Duration, error) {
-	d, err := l.ctx.EventElapsed(uint32(start), uint32(end))
+	d, err := l.ctx().EventElapsed(uint32(start), uint32(end))
 	return d, mapGPUError(err)
 }
 
 // EventDestroy implements AsyncRuntime.
 func (l *Local) EventDestroy(e Event) error {
-	return mapGPUError(l.ctx.EventDestroy(uint32(e)))
+	return mapGPUError(l.ctx().EventDestroy(uint32(e)))
 }

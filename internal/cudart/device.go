@@ -27,28 +27,48 @@ type DeviceRuntime interface {
 
 var _ DeviceRuntime = (*Local)(nil)
 
-// DeviceCount implements DeviceRuntime; a local runtime owns one device.
-func (l *Local) DeviceCount() (int, error) { return 1, nil }
+// DeviceCount implements DeviceRuntime.
+func (l *Local) DeviceCount() (int, error) { return len(l.devs), nil }
 
-// SetDevice implements DeviceRuntime; only device 0 exists locally.
+// SetDevice implements DeviceRuntime: it selects the device subsequent
+// operations route to. The first selection of a device creates its context
+// — paying the environment initialization delay unless the runtime was
+// opened Preinitialized — and loads the application module into it, so
+// handles from one device are invalid on another, as in CUDA.
 func (l *Local) SetDevice(device int) error {
-	if device != 0 {
+	if device < 0 || device >= len(l.devs) {
 		return ErrorInvalidValue
 	}
+	if _, ok := l.ctxs[device]; !ok {
+		var ctx *gpu.Context
+		if l.preinit {
+			ctx = l.devs[device].NewContextPreinitialized()
+		} else {
+			ctx = l.devs[device].NewContext()
+		}
+		if l.mod != nil {
+			if err := ctx.LoadModule(l.mod); err != nil {
+				_ = ctx.Destroy()
+				return mapGPUError(err)
+			}
+		}
+		l.ctxs[device] = ctx
+	}
+	l.cur = device
 	return nil
 }
 
 // DeviceProperties implements DeviceRuntime.
 func (l *Local) DeviceProperties() (gpu.Properties, error) {
-	return l.dev.Properties(), nil
+	return l.dev().Properties(), nil
 }
 
 // Memset implements DeviceRuntime.
 func (l *Local) Memset(ptr DevicePtr, value byte, size uint32) error {
-	return mapGPUError(l.ctx.Memset(uint32(ptr), value, size))
+	return mapGPUError(l.ctx().Memset(uint32(ptr), value, size))
 }
 
 // MemcpyDeviceToDevice implements DeviceRuntime.
 func (l *Local) MemcpyDeviceToDevice(dst, src DevicePtr, size uint32) error {
-	return mapGPUError(l.ctx.CopyDeviceToDevice(uint32(dst), uint32(src), size))
+	return mapGPUError(l.ctx().CopyDeviceToDevice(uint32(dst), uint32(src), size))
 }

@@ -45,11 +45,20 @@ type Runtime interface {
 	Close() error
 }
 
-// Local is the Runtime over a simulated device on the same node, the
-// "local GPU" configuration the paper compares against.
+// Local is the Runtime over one or more simulated devices on the same
+// node — the "local GPU" configuration the paper compares against, or a
+// multi-GPU node when opened with ExtraDevices. Allocations, copies, and
+// launches route to the device selected with SetDevice; each device gets
+// its own lazily created context, mirroring the server-side session.
 type Local struct {
-	dev *gpu.Device
-	ctx *gpu.Context
+	devs []*gpu.Device
+	ctxs map[int]*gpu.Context
+	cur  int
+	mod  *gpu.Module
+	// preinit records whether later-selected devices also skip the CUDA
+	// environment initialization delay, matching how the first context was
+	// opened.
+	preinit bool
 }
 
 var _ Runtime = (*Local)(nil)
@@ -57,7 +66,10 @@ var _ Runtime = (*Local)(nil)
 // LocalOption configures OpenLocal.
 type LocalOption func(*localOptions)
 
-type localOptions struct{ preinitialized bool }
+type localOptions struct {
+	preinitialized bool
+	extra          []*gpu.Device
+}
 
 // Preinitialized opens the runtime on a context created before timing
 // started, skipping the CUDA environment initialization delay — the rCUDA
@@ -66,9 +78,16 @@ func Preinitialized() LocalOption {
 	return func(o *localOptions) { o.preinitialized = true }
 }
 
+// ExtraDevices attaches additional GPUs beyond the primary one, the local
+// counterpart of the server's WithDevices: DeviceCount reports them and
+// SetDevice routes subsequent operations to the selected device.
+func ExtraDevices(extra ...*gpu.Device) LocalOption {
+	return func(o *localOptions) { o.extra = append(o.extra, extra...) }
+}
+
 // OpenLocal initializes the CUDA runtime on a device and loads the
 // application's GPU module, paying the environment initialization delay
-// unless Preinitialized is given.
+// unless Preinitialized is given. Device 0 is current initially.
 func OpenLocal(dev *gpu.Device, module *gpu.Module, opts ...LocalOption) (*Local, error) {
 	var o localOptions
 	for _, opt := range opts {
@@ -86,12 +105,21 @@ func OpenLocal(dev *gpu.Device, module *gpu.Module, opts ...LocalOption) (*Local
 			return nil, err
 		}
 	}
-	return &Local{dev: dev, ctx: ctx}, nil
+	return &Local{
+		devs:    append([]*gpu.Device{dev}, o.extra...),
+		ctxs:    map[int]*gpu.Context{0: ctx},
+		mod:     module,
+		preinit: o.preinitialized,
+	}, nil
 }
+
+// dev and ctx resolve the currently selected device and its context.
+func (l *Local) dev() *gpu.Device  { return l.devs[l.cur] }
+func (l *Local) ctx() *gpu.Context { return l.ctxs[l.cur] }
 
 // Malloc implements Runtime.
 func (l *Local) Malloc(size uint32) (DevicePtr, error) {
-	ptr, err := l.ctx.Malloc(size)
+	ptr, err := l.ctx().Malloc(size)
 	if err != nil {
 		return 0, mapGPUError(err)
 	}
@@ -100,17 +128,17 @@ func (l *Local) Malloc(size uint32) (DevicePtr, error) {
 
 // Free implements Runtime.
 func (l *Local) Free(ptr DevicePtr) error {
-	return mapGPUError(l.ctx.Free(uint32(ptr)))
+	return mapGPUError(l.ctx().Free(uint32(ptr)))
 }
 
 // MemcpyToDevice implements Runtime.
 func (l *Local) MemcpyToDevice(dst DevicePtr, src []byte) error {
-	return mapGPUError(l.ctx.CopyToDevice(uint32(dst), src))
+	return mapGPUError(l.ctx().CopyToDevice(uint32(dst), src))
 }
 
 // MemcpyToHost implements Runtime.
 func (l *Local) MemcpyToHost(dst []byte, src DevicePtr) error {
-	data, err := l.ctx.CopyToHost(uint32(src), uint32(len(dst)))
+	data, err := l.ctx().CopyToHost(uint32(src), uint32(len(dst)))
 	if err != nil {
 		return mapGPUError(err)
 	}
@@ -120,18 +148,31 @@ func (l *Local) MemcpyToHost(dst []byte, src DevicePtr) error {
 
 // Launch implements Runtime.
 func (l *Local) Launch(name string, grid, block Dim3, shared uint32, params []byte) error {
-	return mapGPUError(l.ctx.Launch(name, grid, block, shared, params))
+	return mapGPUError(l.ctx().Launch(name, grid, block, shared, params))
 }
 
 // DeviceSynchronize implements Runtime: it waits out every pending
 // asynchronous operation of this context.
-func (l *Local) DeviceSynchronize() error { return mapGPUError(l.ctx.Synchronize()) }
+func (l *Local) DeviceSynchronize() error { return mapGPUError(l.ctx().Synchronize()) }
 
 // Capability implements Runtime.
-func (l *Local) Capability() (major, minor uint32) { return l.dev.Capability() }
+func (l *Local) Capability() (major, minor uint32) { return l.dev().Capability() }
 
-// Close implements Runtime.
-func (l *Local) Close() error { return l.ctx.Destroy() }
+// Close implements Runtime: it destroys every per-device context that was
+// created, returning the first error while still attempting the rest. The
+// destroyed contexts stay in place so use-after-close surfaces as
+// cudaErrorInitializationError rather than a crash.
+func (l *Local) Close() error {
+	var first error
+	for d := 0; d < len(l.devs); d++ {
+		if ctx, ok := l.ctxs[d]; ok {
+			if err := ctx.Destroy(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
 
 // mapGPUError translates device-layer errors into cudaError_t values
 // (nil stays nil), so the Runtime surfaces the same codes the wire carries.

@@ -35,6 +35,7 @@ func FuzzDecodeRequest(f *testing.F) {
 		&MemcpyStreamEndRequest{Chunks: 4},
 		&SessionHelloRequest{},
 		&ReattachRequest{Session: 7},
+		&StatsQueryRequest{},
 	}
 	for _, s := range seeds {
 		full := s.Encode(nil)

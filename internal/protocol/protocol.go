@@ -78,6 +78,9 @@ func (o Op) String() string {
 		if name, ok := sessionOpNames[o]; ok {
 			return name
 		}
+		if name, ok := statsOpNames[o]; ok {
+			return name
+		}
 		return fmt.Sprintf("Op(%d)", uint32(o))
 	}
 }

@@ -1,9 +1,6 @@
 package protocol
 
-import (
-	"encoding/binary"
-	"fmt"
-)
+import "encoding/binary"
 
 // This file defines the durable-session extension behind the client's
 // retry/reconnect policy. The base protocol ties a session's lifetime to
@@ -162,6 +159,6 @@ func decodeSessionRequest(op Op, b []byte) (Request, error) {
 		}
 		return &ReattachRequest{Session: getU64(b, 4)}, nil
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrBadOp, uint32(op))
+		return decodeStatsRequest(op, b)
 	}
 }

@@ -128,6 +128,7 @@ func TestDecodeRequestNeverPanicsOnTruncation(t *testing.T) {
 		&MemcpyStreamEndRequest{Chunks: 4},
 		&SessionHelloRequest{},
 		&ReattachRequest{Session: 9},
+		&StatsQueryRequest{},
 	}
 	for _, m := range msgs {
 		full := m.Encode(nil)

@@ -93,7 +93,8 @@ func opIdempotent(op protocol.Op) bool {
 		protocol.OpEventElapsed,
 		protocol.OpStreamSynchronize,
 		protocol.OpEventSynchronize,
-		protocol.OpSessionHello:
+		protocol.OpSessionHello,
+		protocol.OpStatsQuery:
 		return true
 	default:
 		return false

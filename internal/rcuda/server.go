@@ -28,6 +28,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rcuda/internal/cudart"
@@ -45,6 +46,15 @@ type Server struct {
 	logger   *log.Logger
 	spread   bool
 	counters serverCounters
+	// Live load gauges behind the StatsQuery wire reply (see stats.go):
+	// attached counts GPU sessions currently spliced to a connection
+	// (probe-only connections excluded), devSessions counts sessions
+	// holding a context on each device, devBusy accumulates each device's
+	// dispatch time in nanoseconds of its own clock. The slices are sized
+	// once in NewServer, after WithDevices has run.
+	attached    atomic.Int64
+	devSessions []atomic.Int64
+	devBusy     []atomic.Int64
 
 	// Hardening configuration (see limits.go); zero values disable.
 	maxSessions         int
@@ -132,6 +142,8 @@ func NewServer(dev *gpu.Device, opts ...ServerOption) *Server {
 		o(s)
 	}
 	s.guard = newGuard(s.maxSessions, s.maxConns, s.admitQueueDepth, s.admitQueueWait)
+	s.devSessions = make([]atomic.Int64, len(s.devs))
+	s.devBusy = make([]atomic.Int64, len(s.devs))
 	return s
 }
 
@@ -334,6 +346,7 @@ func (ss *session) setDevice(d int) error {
 			return err
 		}
 		ss.ctxs[d] = ctx
+		ss.srv.devSessions[d].Add(1)
 	}
 	ss.cur = d
 	return nil
@@ -357,6 +370,12 @@ func (s *Server) destroySession(sess *session) {
 	s.mu.Unlock()
 	if already {
 		return
+	}
+	// Safe without s.mu for the same reason sess.destroy is: every path
+	// here runs after the session's handler goroutine has exited (or never
+	// existed), so nobody is still adding contexts.
+	for d := range sess.ctxs {
+		s.devSessions[d].Add(-1)
 	}
 	sess.destroy()
 	if sess.slotHeld {
@@ -410,14 +429,23 @@ func (s *Server) ServeConn(conn transport.Conn) error {
 	return err
 }
 
-// serveSession runs the handshake and request loop of one connection.
+// serveSession runs the handshake and request loop of one connection. A
+// connection that opened with a stats probe has no session; handshake has
+// already served it to completion and returns nil for both values.
 func (s *Server) serveSession(conn transport.Conn, withinConnCap bool) error {
 	sess, err := s.handshake(conn, withinConnCap)
 	if err != nil {
 		return err
 	}
+	if sess == nil {
+		return nil
+	}
+	s.attached.Add(1)
 	finalized := false
-	defer func() { s.releaseSession(sess, finalized) }()
+	defer func() {
+		s.attached.Add(-1)
+		s.releaseSession(sess, finalized)
+	}()
 
 	for {
 		payload, err := conn.Recv()
@@ -432,7 +460,17 @@ func (s *Server) serveSession(conn transport.Conn, withinConnCap bool) error {
 			return fmt.Errorf("rcuda: malformed request: %w", err)
 		}
 		s.counters.requests.Add(1)
+		// Busy accounting: the wall (or simulated) time dispatch holds the
+		// session's current device, charged to that device's own clock so a
+		// broker's least-loaded ranking sees the same quantity the cluster
+		// model's per-GPU completion times accumulate.
+		dev := sess.cur
+		clk := s.devs[dev].Clock()
+		t0 := clk.Now()
 		done, err := s.dispatch(conn, sess, req)
+		if busy := clk.Now() - t0; busy > 0 {
+			s.devBusy[dev].Add(int64(busy))
+		}
 		if err != nil {
 			return err
 		}
@@ -542,6 +580,12 @@ func (s *Server) handshake(conn transport.Conn, withinConnCap bool) (*session, e
 	if err != nil {
 		return nil, fmt.Errorf("rcuda: handshake recv: %w", err)
 	}
+	// A stats probe is answered before any admission decision: monitoring
+	// must keep working on a server that is refusing new sessions, and a
+	// probe connection never consumes a session slot.
+	if q, isProbe := protocol.TryDecodeStatsQuery(payload); isProbe {
+		return nil, s.serveStatsConn(conn, q)
+	}
 	r, isReattach := protocol.TryDecodeReattach(payload)
 	if !withinConnCap {
 		s.counters.rejectedConns.Add(1)
@@ -590,6 +634,7 @@ func (s *Server) admitSession(conn transport.Conn, initReq *protocol.InitRequest
 				_ = ctx.Destroy()
 				return nil, sendErr
 			}
+			s.devSessions[initial].Add(1)
 			return &session{
 				srv:      s,
 				module:   mod,
@@ -720,6 +765,9 @@ func (s *Server) dispatch(conn transport.Conn, sess *session, req protocol.Reque
 		return true, nil
 	case *protocol.SessionHelloRequest:
 		return false, conn.Send(&protocol.SessionHelloResponse{Session: s.makeDurable(sess)})
+	case *protocol.StatsQueryRequest:
+		s.counters.statsQueries.Add(1)
+		return false, conn.Send(s.statsReply())
 	case *protocol.ReattachRequest:
 		// Reattach is only legal as a connection's opening message.
 		return false, fmt.Errorf("rcuda: reattach inside an established session")

@@ -1,6 +1,16 @@
 package rcuda
 
-import "sync/atomic"
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"rcuda/internal/cudart"
+	"rcuda/internal/protocol"
+	"rcuda/internal/transport"
+)
 
 // ServerStats are cumulative daemon counters, suitable for an operator
 // dashboard or load-balancing decisions across GPU servers.
@@ -39,6 +49,9 @@ type ServerStats struct {
 	// ForcedCloses counts connections force-closed because a drain or
 	// Close deadline expired before they finished.
 	ForcedCloses int64
+	// StatsQueries counts StatsQuery requests answered, both broker health
+	// probes and in-session queries.
+	StatsQueries int64
 }
 
 // serverCounters backs Server.Stats with atomics.
@@ -56,6 +69,7 @@ type serverCounters struct {
 	watchdogKills    atomic.Int64
 	evictions        atomic.Int64
 	forcedCloses     atomic.Int64
+	statsQueries     atomic.Int64
 }
 
 // Stats returns a snapshot of the daemon's counters.
@@ -75,14 +89,21 @@ func (s *Server) Stats() ServerStats {
 		WatchdogKills:    s.counters.watchdogKills.Load(),
 		Evictions:        s.counters.evictions.Load(),
 		ForcedCloses:     s.counters.forcedCloses.Load(),
+		StatsQueries:     s.counters.statsQueries.Load(),
 	}
 }
 
-// DeviceUsage reports one device's live allocator state.
+// DeviceUsage reports one device's live allocator state and scheduling
+// gauges.
 type DeviceUsage struct {
 	Name        string
 	BytesInUse  uint64
 	Allocations int
+	// Sessions counts sessions currently holding a context on the device.
+	Sessions int
+	// Busy is the cumulative time the daemon spent executing requests on
+	// the device, measured on the device's own clock.
+	Busy time.Duration
 }
 
 // StatsSnapshot is a point-in-time operational view of the daemon: the
@@ -102,24 +123,108 @@ type StatsSnapshot struct {
 // StatsSnapshot captures the daemon's current operational state.
 func (s *Server) StatsSnapshot() StatsSnapshot {
 	snap := StatsSnapshot{
-		ServerStats:  s.Stats(),
-		SessionsLive: s.counters.sessionsActive.Load(),
+		ServerStats:       s.Stats(),
+		SessionsLive:      s.counters.sessionsActive.Load(),
+		SessionsParkedNow: s.parkedNow(),
 	}
-	s.mu.Lock()
-	for _, sess := range s.registry {
-		if !sess.attached && !sess.destroyed {
-			snap.SessionsParkedNow++
-		}
-	}
-	s.mu.Unlock()
-	for _, dev := range s.devs {
+	for i, dev := range s.devs {
 		snap.Devices = append(snap.Devices, DeviceUsage{
 			Name:        dev.Properties().Name,
 			BytesInUse:  dev.MemoryInUse(),
 			Allocations: dev.Allocations(),
+			Sessions:    int(clampGauge(s.devSessions[i].Load())),
+			Busy:        time.Duration(clampGauge(s.devBusy[i].Load())),
 		})
 	}
 	return snap
+}
+
+// parkedNow counts durable sessions currently parked awaiting a reattach.
+func (s *Server) parkedNow() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, sess := range s.registry {
+		if !sess.attached && !sess.destroyed {
+			n++
+		}
+	}
+	return n
+}
+
+// clampGauge floors a gauge at zero. The accounting pairs every decrement
+// with a prior increment, so a negative value would be a bug; clamping
+// keeps a momentarily torn read during shutdown from ever reaching an
+// operator or the wire as a giant unsigned number.
+func clampGauge(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// statsReply builds the trimmed wire form of the daemon's snapshot for
+// StatsQuery: the live gauges a broker's placement policy ranks servers
+// by, without the cumulative counter block.
+func (s *Server) statsReply() *protocol.StatsReply {
+	r := &protocol.StatsReply{
+		SessionsLive:   uint32(clampGauge(s.attached.Load())),
+		SessionsParked: uint32(s.parkedNow()),
+	}
+	for i, dev := range s.devs {
+		r.Devices = append(r.Devices, protocol.DeviceStats{
+			BytesInUse:  dev.MemoryInUse(),
+			Allocations: uint32(clampGauge(int64(dev.Allocations()))),
+			Sessions:    uint32(clampGauge(s.devSessions[i].Load())),
+			BusyNanos:   uint64(clampGauge(s.devBusy[i].Load())),
+		})
+	}
+	return r
+}
+
+// serveStatsConn serves a probe-only connection: one whose opening message
+// was a StatsQuery instead of an init or reattach payload. The connection
+// carries nothing but further stats queries — a broker keeps one open per
+// endpoint and polls it — and never touches session admission, so probing
+// works even on a server that is refusing new sessions. A clean close by
+// the prober ends the loop without error.
+func (s *Server) serveStatsConn(conn transport.Conn, first *protocol.StatsQueryRequest) error {
+	_ = first
+	for {
+		s.counters.statsQueries.Add(1)
+		if err := conn.Send(s.statsReply()); err != nil {
+			return fmt.Errorf("rcuda: stats send: %w", err)
+		}
+		payload, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("rcuda: stats recv: %w", err)
+		}
+		if _, ok := protocol.TryDecodeStatsQuery(payload); !ok {
+			return fmt.Errorf("rcuda: non-stats request on a stats connection")
+		}
+	}
+}
+
+// QueryStats asks the server this client's connection leads to for its
+// live load snapshot — an in-session counterpart of the broker's probe.
+// Like every Runtime call it is a synchronous exchange on the session's
+// connection; under WithRetry it is retried as an idempotent read.
+func (c *Client) QueryStats() (*protocol.StatsReply, error) {
+	payload, err := c.roundTrip(&protocol.StatsQueryRequest{})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := protocol.DecodeStatsReply(payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := cudart.Error(resp.Err).AsError(); err != nil {
+		return nil, err
+	}
+	return resp, nil
 }
 
 // ClientStats are cumulative per-client resilience counters.

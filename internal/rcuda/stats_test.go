@@ -1,0 +1,287 @@
+package rcuda
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"rcuda/internal/calib"
+	"rcuda/internal/gpu"
+	"rcuda/internal/netsim"
+	"rcuda/internal/protocol"
+	"rcuda/internal/transport"
+	"rcuda/internal/vclock"
+)
+
+// probeStats opens a probe-only connection to srv over a fresh pipe, runs
+// one query, and closes.
+func probeStats(t *testing.T, srv *Server, clk vclock.Clock) *protocol.StatsReply {
+	t.Helper()
+	cliEnd, srvEnd := transport.Pipe(netsim.IB40G(), clk, nil)
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeConn(srvEnd) }()
+	if err := cliEnd.Send(&protocol.StatsQueryRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := cliEnd.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := protocol.DecodeStatsReply(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cliEnd.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("stats conn: %v", err)
+	}
+	return reply
+}
+
+// TestStatsProbeReportsLiveLoad drives a session through allocations and a
+// kernel and checks a probe connection sees the load: attached session,
+// per-device context counts, memory in use, and accumulated busy time.
+func TestStatsProbeReportsLiveLoad(t *testing.T) {
+	clk := vclock.NewSim()
+	devs := []*gpu.Device{
+		gpu.New(gpu.Config{Clock: clk}),
+		gpu.New(gpu.Config{Clock: clk}),
+	}
+	srv := NewServer(devs[0], WithDevices(devs[1]))
+
+	empty := probeStats(t, srv, clk)
+	if empty.SessionsLive != 0 || len(empty.Devices) != 2 {
+		t.Fatalf("idle reply = %+v", empty)
+	}
+	for i, d := range empty.Devices {
+		if d.BytesInUse != 0 || d.Sessions != 0 || d.BusyNanos != 0 {
+			t.Fatalf("idle device %d = %+v", i, d)
+		}
+	}
+
+	cliEnd, srvEnd := transport.Pipe(netsim.IB40G(), clk, nil)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := srv.ServeConn(srvEnd); err != nil {
+			t.Errorf("server: %v", err)
+		}
+	}()
+	client, err := Open(cliEnd, moduleImage(t, calib.MM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Malloc(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SetDevice(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Malloc(1 << 10); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded := probeStats(t, srv, clk)
+	if loaded.SessionsLive != 1 {
+		t.Fatalf("SessionsLive = %d, want 1", loaded.SessionsLive)
+	}
+	if loaded.Devices[0].Sessions != 1 || loaded.Devices[1].Sessions != 1 {
+		t.Fatalf("device sessions = %d,%d, want 1,1",
+			loaded.Devices[0].Sessions, loaded.Devices[1].Sessions)
+	}
+	if loaded.Devices[0].BytesInUse < 1<<20 || loaded.Devices[1].BytesInUse < 1<<10 {
+		t.Fatalf("bytes in use = %d,%d", loaded.Devices[0].BytesInUse, loaded.Devices[1].BytesInUse)
+	}
+	if loaded.Devices[0].BusyNanos == 0 {
+		t.Fatal("device 0 served a malloc but reports zero busy time")
+	}
+
+	// The in-session query sees the same numbers through the client API.
+	inSession, err := client.QueryStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inSession.SessionsLive != 1 || inSession.Devices[0].BytesInUse != loaded.Devices[0].BytesInUse {
+		t.Fatalf("in-session reply %+v disagrees with probe %+v", inSession, loaded)
+	}
+
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	drained := probeStats(t, srv, clk)
+	if drained.SessionsLive != 0 || drained.Devices[0].Sessions != 0 || drained.Devices[1].Sessions != 0 {
+		t.Fatalf("post-close reply = %+v, want all session gauges zero", drained)
+	}
+	if drained.Devices[0].BytesInUse != 0 {
+		t.Fatalf("post-close bytes in use = %d", drained.Devices[0].BytesInUse)
+	}
+	if srv.Stats().StatsQueries < 3 {
+		t.Fatalf("StatsQueries = %d, want >= 3", srv.Stats().StatsQueries)
+	}
+	_ = srv.Close()
+}
+
+// TestStatsProbePersistentConnection keeps one probe connection open across
+// several queries, the way the broker's prober does.
+func TestStatsProbePersistentConnection(t *testing.T) {
+	clk := vclock.NewSim()
+	srv := NewServer(gpu.New(gpu.Config{Clock: clk}))
+	cliEnd, srvEnd := transport.Pipe(netsim.IB40G(), clk, nil)
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeConn(srvEnd) }()
+	for i := 0; i < 5; i++ {
+		if err := cliEnd.Send(&protocol.StatsQueryRequest{}); err != nil {
+			t.Fatal(err)
+		}
+		payload, err := cliEnd.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := protocol.DecodeStatsReply(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = cliEnd.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("stats conn: %v", err)
+	}
+	if got := srv.Stats().StatsQueries; got != 5 {
+		t.Fatalf("StatsQueries = %d, want 5", got)
+	}
+	_ = srv.Close()
+}
+
+// TestStatsProbeServedPastConnCap checks monitoring keeps working on a
+// server whose connection cap is exhausted: the probe is answered where a
+// session handshake would be refused busy.
+func TestStatsProbeServedPastConnCap(t *testing.T) {
+	clk := vclock.NewSim()
+	srv := NewServer(gpu.New(gpu.Config{Clock: clk}), WithMaxConns(1))
+
+	// Occupy the single conn slot with a real session.
+	cliEnd, srvEnd := transport.Pipe(netsim.IB40G(), clk, nil)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.ServeConn(srvEnd)
+	}()
+	client, err := Open(cliEnd, moduleImage(t, calib.MM))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reply := probeStats(t, srv, clk)
+	if reply.SessionsLive != 1 {
+		t.Fatalf("over-cap probe: SessionsLive = %d, want 1", reply.SessionsLive)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	_ = srv.Close()
+}
+
+// TestStatsSnapshotRacesDrain hammers StatsSnapshot and wire probes while
+// sessions churn and the server drains: no deadlock, and no gauge may ever
+// go negative or wrap. Run under -race (make verify includes this package).
+func TestStatsSnapshotRacesDrain(t *testing.T) {
+	clk := vclock.NewWall()
+	devs := []*gpu.Device{
+		gpu.New(gpu.Config{Clock: clk}),
+		gpu.New(gpu.Config{Clock: clk}),
+	}
+	srv := NewServer(devs[0], WithDevices(devs[1]), WithSessionSpread())
+	img := moduleImage(t, calib.MM)
+
+	const clients = 6
+	var sessions sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		cliEnd, srvEnd := transport.Pipe(netsim.IB40G(), clk, nil)
+		sessions.Add(2)
+		go func() {
+			defer sessions.Done()
+			_ = srv.ServeConn(srvEnd)
+			// Mirror Serve's accept loop: the transport dies with the
+			// handler, so a client mid-handshake unblocks even when
+			// ServeConn refused the connection outright.
+			_ = srvEnd.Close()
+		}()
+		go func() {
+			defer sessions.Done()
+			client, err := Open(cliEnd, img)
+			if err != nil {
+				return // the drain may refuse late openers; that's the point
+			}
+			for j := 0; j < 50; j++ {
+				ptr, err := client.Malloc(4 << 10)
+				if err != nil {
+					break
+				}
+				if err := client.Free(ptr); err != nil {
+					break
+				}
+			}
+			_ = client.Close()
+		}()
+	}
+
+	checkReply := func(r *protocol.StatsReply) {
+		if r.SessionsLive > clients {
+			t.Errorf("SessionsLive = %d, beyond the %d clients (negative gauge wrapped?)", r.SessionsLive, clients)
+		}
+		for i, d := range r.Devices {
+			if d.Sessions > clients {
+				t.Errorf("device %d sessions = %d, beyond the %d clients", i, d.Sessions, clients)
+			}
+		}
+	}
+	stop := make(chan struct{})
+	var observers sync.WaitGroup
+	observers.Add(1)
+	go func() {
+		defer observers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := srv.StatsSnapshot()
+			if snap.SessionsParkedNow < 0 {
+				t.Errorf("SessionsParkedNow = %d", snap.SessionsParkedNow)
+			}
+			for i, du := range snap.Devices {
+				if du.Sessions < 0 || du.Busy < 0 {
+					t.Errorf("device %d gauges went negative: %+v", i, du)
+				}
+			}
+			checkReply(srv.statsReply())
+		}
+	}()
+
+	// Let the churn overlap the drain, then shut down with a bounded grace.
+	time.Sleep(5 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	if err := srv.Drain(ctx); err != nil && ctx.Err() == nil {
+		t.Errorf("drain: %v", err)
+	}
+	cancel()
+	sessions.Wait()
+	close(stop)
+	observers.Wait()
+
+	final := srv.statsReply()
+	if final.SessionsLive != 0 {
+		t.Fatalf("post-drain SessionsLive = %d", final.SessionsLive)
+	}
+	for i, d := range final.Devices {
+		if d.Sessions != 0 {
+			t.Fatalf("post-drain device %d sessions = %d", i, d.Sessions)
+		}
+	}
+}

@@ -33,7 +33,7 @@ func TestGetBufferCapacityAndReuse(t *testing.T) {
 	}
 	PutBuffer(buf)
 	again, hit := GetBuffer(70)
-	if !hit {
+	if !hit && !raceDetectorEnabled {
 		t.Fatal("a just-recycled buffer of the same class must be a pool hit")
 	}
 	if cap(again) != 128 {

@@ -134,6 +134,23 @@ func runRemoteFunctional(cs calib.CaseStudy, size int, opts Options) (Report, er
 	}, nil
 }
 
+// ExecuteFunctional performs the case study's execution phases — alloc,
+// transfer, launch, read back, free — against any cudart.Runtime with real
+// data, verifying the result against the CPU oracle. Unlike Run it charges
+// no clock time for data generation or management: the caller owns the
+// schedule, which is what the broker's live-makespan harness needs.
+func ExecuteFunctional(cs calib.CaseStudy, size int, rt cudart.Runtime, seed int64) (bool, error) {
+	if err := checkFunctionalSize(cs, size); err != nil {
+		return false, err
+	}
+	switch cs {
+	case calib.MM:
+		return executeMM(size, rt, seed)
+	default:
+		return executeFFT(size, rt, seed)
+	}
+}
+
 // executeOnRuntime performs the case study's seven-phase execution against
 // any cudart.Runtime (local or remote) and verifies the result against the
 // CPU oracle. It charges data generation and management time on the run's
