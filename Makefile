@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify lint chaos soak bench fuzz pool repro figures experiments clean help
+.PHONY: all build test race verify lint chaos soak bench bench-batch fuzz pool repro figures experiments clean help
 
 all: build test
 
@@ -17,6 +17,7 @@ help:
 	@echo "  chaos        fault-injection suite (scripted + 50 seeded plans) under -race"
 	@echo "  soak         10k mixed ops at ~1% fault rate, leak-checked, under -race"
 	@echo "  bench        run all benchmarks"
+	@echo "  bench-batch  run the batched-path inference bench, refresh BENCH_batching.json"
 	@echo "  fuzz         short fuzzing pass over the wire-protocol decoders"
 	@echo "  pool         broker demo: 3 local daemons, one killed mid-batch"
 	@echo "  repro        regenerate every table and figure of the paper on stdout"
@@ -41,10 +42,11 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 
 # Tier-1 verification: full build + tests, the concurrent data-path packages
-# (transport framing, middleware streaming, pool broker) under the race
-# detector, and the deterministic fault-injection suite.
+# (transport framing, middleware streaming + batching, pool broker, the
+# full-stack workloads) under the race detector, and the deterministic
+# fault-injection suite.
 verify: build test chaos
-	$(GO) test -race ./internal/transport/... ./internal/rcuda/... ./internal/broker/...
+	$(GO) test -race ./internal/transport/... ./internal/rcuda/... ./internal/broker/... ./internal/workload/...
 
 # Chaos suite: every fault kind's transport semantics, the retry policy, and
 # the MM/FFT case studies under scripted and 50 consecutive seeded fault
@@ -62,6 +64,12 @@ soak:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Deterministic batched-path trajectory: the DNN inference loop over both
+# testbed networks, batched and unbatched, on the simulation clock. Commit
+# the refreshed BENCH_batching.json so regressions show up in review.
+bench-batch:
+	$(GO) run ./cmd/rcuda-bench-batch -out BENCH_batching.json
 
 # Short fuzzing pass over the wire-protocol decoders.
 fuzz:

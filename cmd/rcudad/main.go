@@ -42,6 +42,8 @@ func logSnapshot(logger *log.Logger, snap rcuda.StatsSnapshot) {
 		snap.SessionsLive, snap.SessionsParkedNow, snap.SessionsStarted, snap.Requests, snap.Reattaches)
 	logger.Printf("stats: rejected conns=%d sessions=%d quota-denials=%d watchdog-kills=%d evictions=%d forced-closes=%d",
 		snap.RejectedConns, snap.RejectedSessions, snap.QuotaDenials, snap.WatchdogKills, snap.Evictions, snap.ForcedCloses)
+	logger.Printf("stats: batch frames=%d ops=%d replays=%d",
+		snap.BatchFrames, snap.BatchedOps, snap.BatchReplays)
 	for i, du := range snap.Devices {
 		logger.Printf("stats: device %d %q: %d bytes in %d allocations, %d sessions, busy %v",
 			i, du.Name, du.BytesInUse, du.Allocations, du.Sessions, du.Busy)

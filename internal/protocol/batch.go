@@ -1,0 +1,200 @@
+package protocol
+
+import "fmt"
+
+// This file defines the wire-level batching extension. The paper's protocol
+// pays one network round trip per CUDA call, which is fine for the
+// bulk-transfer case studies but dominates latency-bound AI workloads:
+// thousands of tiny kernel launches, async copies, and event records where
+// RTT — not bandwidth — is the bottleneck. A batch coalesces a run of
+// consecutive fire-and-forget operations (the ones whose response is a bare
+// result code) into one OpBatch frame answered by one combined response, so
+// a request loop of N small calls costs one round trip instead of N.
+//
+// The frame layout follows the Table I style: op (4) + sequence (8) +
+// sub-op count (4) + per sub-op {length (4) + the sub-op's ordinary encoded
+// request}. The sequence number makes a replayed batch idempotent-safe
+// under the retry/reconnect machinery: the server remembers the last batch
+// sequence it executed per session, and a batch that arrives again with
+// that sequence — the retry of an exchange whose response was lost — is
+// answered from the stored result codes without re-executing anything.
+//
+// Only operations whose response carries nothing but the result code are
+// batchable (BatchableOp); the decoder enforces it, so a malformed or
+// hostile frame cannot smuggle a data-returning or session-management
+// operation past the per-op dispatch paths.
+
+// Batch operations continue the Op space after the stats extension.
+const (
+	OpBatch Op = iota + opStatsSentinel
+	opBatchSentinel
+)
+
+// batchOpNames extends Op.String for the batching extension.
+var batchOpNames = map[Op]string{
+	OpBatch: "batched calls",
+}
+
+// MaxBatchOps bounds the sub-op count one batch frame may declare, so a
+// corrupt or hostile frame cannot make the decoder allocate absurd slices.
+const MaxBatchOps = 1024
+
+// BatchableOp reports whether op may ride inside an OpBatch frame: only
+// fire-and-forget operations whose response is a bare result code qualify.
+// Anything returning data or a handle, and anything touching session or
+// connection state, must travel as its own exchange.
+func BatchableOp(op Op) bool {
+	switch op {
+	case OpLaunch, OpMemcpyToDeviceAsync, OpEventRecord, OpMemset:
+		return true
+	default:
+		return false
+	}
+}
+
+// BatchRequest carries a run of coalesced sub-operations: op (4) +
+// sequence (8) + count (4) + per sub-op {length (4) + encoded request} =
+// 16 + Σ(4+len) bytes. Subs holds each sub-op's ordinary encoded form;
+// Decoded, populated by the wire decoder, holds the parsed requests in the
+// same order (Encode ignores it).
+type BatchRequest struct {
+	Seq     uint64
+	Subs    [][]byte
+	Decoded []Request
+}
+
+// Encode implements Message.
+func (m *BatchRequest) Encode(dst []byte) []byte {
+	dst = putU32(dst, uint32(OpBatch))
+	dst = putU64(dst, m.Seq)
+	dst = putU32(dst, uint32(len(m.Subs)))
+	for _, sub := range m.Subs {
+		dst = putU32(dst, uint32(len(sub)))
+		dst = append(dst, sub...)
+	}
+	return dst
+}
+
+// WireSize implements Message.
+func (m *BatchRequest) WireSize() int {
+	n := 16
+	for _, sub := range m.Subs {
+		n += 4 + len(sub)
+	}
+	return n
+}
+
+// Op implements Request.
+func (m *BatchRequest) Op() Op { return OpBatch }
+
+// Requests returns the parsed sub-operations, decoding Subs when the
+// request was built locally rather than parsed off the wire.
+func (m *BatchRequest) Requests() ([]Request, error) {
+	if m.Decoded != nil {
+		return m.Decoded, nil
+	}
+	reqs := make([]Request, len(m.Subs))
+	for i, sub := range m.Subs {
+		r, err := DecodeRequest(sub)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: batch sub-op %d: %w", i, err)
+		}
+		reqs[i] = r
+	}
+	return reqs, nil
+}
+
+// BatchResponse answers a whole batch: first nonzero sub-op code (4) +
+// count (4) + one result code per sub-op (4n) = 8 + 4n bytes. Err echoes
+// the first nonzero code so a client that only needs the CUDA-style
+// "sticky first error" can skip scanning Codes.
+type BatchResponse struct {
+	Err   uint32
+	Codes []uint32
+}
+
+// Encode implements Message.
+func (m *BatchResponse) Encode(dst []byte) []byte {
+	dst = putU32(putU32(dst, m.Err), uint32(len(m.Codes)))
+	for _, c := range m.Codes {
+		dst = putU32(dst, c)
+	}
+	return dst
+}
+
+// WireSize implements Message.
+func (m *BatchResponse) WireSize() int { return 8 + 4*len(m.Codes) }
+
+// DecodeBatchResponse parses a combined batch response. The declared code
+// count must match the payload length exactly and stay within MaxBatchOps.
+func DecodeBatchResponse(b []byte) (*BatchResponse, error) {
+	if len(b) < 8 {
+		return nil, ErrShortMessage
+	}
+	n := getU32(b, 4)
+	if n > MaxBatchOps {
+		return nil, fmt.Errorf("protocol: batch response declares %d codes (max %d)", n, MaxBatchOps)
+	}
+	if len(b) != 8+4*int(n) {
+		return nil, fmt.Errorf("protocol: batch response declares %d codes but carries %d bytes", n, len(b)-8)
+	}
+	m := &BatchResponse{Err: getU32(b, 0)}
+	if n > 0 {
+		m.Codes = make([]uint32, n)
+		for i := range m.Codes {
+			m.Codes[i] = getU32(b, 8+4*i)
+		}
+	}
+	return m, nil
+}
+
+// decodeBatchRequest handles OpBatch for DecodeRequest. Every sub-op is
+// fully validated here — length in range, decodable, batchable — so the
+// dispatcher never sees a half-parsed batch. Sub slices alias b under the
+// same ownership contract as the memcpy payloads.
+func decodeBatchRequest(op Op, b []byte) (Request, error) {
+	if op != OpBatch {
+		return nil, fmt.Errorf("%w: %d", ErrBadOp, uint32(op))
+	}
+	if len(b) < 16 {
+		return nil, ErrShortMessage
+	}
+	count := getU32(b, 12)
+	if count == 0 {
+		return nil, fmt.Errorf("protocol: empty batch")
+	}
+	if count > MaxBatchOps {
+		return nil, fmt.Errorf("protocol: batch declares %d sub-ops (max %d)", count, MaxBatchOps)
+	}
+	m := &BatchRequest{
+		Seq:     getU64(b, 4),
+		Subs:    make([][]byte, 0, count),
+		Decoded: make([]Request, 0, count),
+	}
+	off := 16
+	for i := 0; i < int(count); i++ {
+		if len(b)-off < 4 {
+			return nil, fmt.Errorf("protocol: batch truncated in sub-op %d header: %w", i, ErrShortMessage)
+		}
+		size := int(getU32(b, off))
+		off += 4
+		if size > len(b)-off {
+			return nil, fmt.Errorf("protocol: batch sub-op %d declares %d bytes, %d remain", i, size, len(b)-off)
+		}
+		raw := b[off : off+size]
+		sub, err := DecodeRequest(raw)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: batch sub-op %d: %w", i, err)
+		}
+		if !BatchableOp(sub.Op()) {
+			return nil, fmt.Errorf("protocol: batch sub-op %d: %v is not batchable", i, sub.Op())
+		}
+		m.Subs = append(m.Subs, raw)
+		m.Decoded = append(m.Decoded, sub)
+		off += size
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("protocol: batch carries %d trailing bytes", len(b)-off)
+	}
+	return m, nil
+}

@@ -36,6 +36,10 @@ func FuzzDecodeRequest(f *testing.F) {
 		&SessionHelloRequest{},
 		&ReattachRequest{Session: 7},
 		&StatsQueryRequest{},
+		&BatchRequest{Seq: 1, Subs: [][]byte{
+			(&LaunchRequest{Name: "sgemmNN", Params: []byte{1, 2, 3, 4}}).Encode(nil),
+			(&EventRecordRequest{Event: 1, Stream: 1}).Encode(nil),
+		}},
 	}
 	for _, s := range seeds {
 		full := s.Encode(nil)
@@ -147,6 +151,66 @@ func FuzzChunkAssembler(f *testing.F) {
 		}
 		if asm.Complete() != (covered == int(total)) {
 			t.Fatalf("Complete()=%v, accepted %d of %d bytes", asm.Complete(), covered, total)
+		}
+	})
+}
+
+// FuzzDecodeBatch stresses the OpBatch frame decoder: malformed sub-op
+// lengths, truncated tails, sub-op counts past the cap, and non-batchable
+// sub-ops must all be rejected without panics or absurd allocations, and
+// every accepted frame must re-encode to the identical bytes.
+func FuzzDecodeBatch(f *testing.F) {
+	batch := func(seq uint64, subs ...Request) []byte {
+		b := &BatchRequest{Seq: seq}
+		for _, sub := range subs {
+			b.Subs = append(b.Subs, sub.Encode(nil))
+		}
+		return b.Encode(nil)
+	}
+	good := batch(3,
+		&MemcpyToDeviceAsyncRequest{Dst: 1, Stream: 1, Data: []byte{9, 8, 7}},
+		&LaunchRequest{Name: "sgemmNN", Params: []byte{1, 2, 3, 4}},
+		&EventRecordRequest{Event: 1, Stream: 1},
+		&MemsetRequest{DevPtr: 1, Value: 0, Size: 16},
+	)
+	f.Add(good)
+	f.Add(good[:len(good)-3])                          // truncated tail
+	f.Add(good[:17])                                   // cut inside the first sub-op header
+	f.Add(batch(0, &SyncRequest{}))                    // non-batchable sub-op
+	f.Add(batch(1, &BatchRequest{Subs: [][]byte{{}}})) // nested batch
+	f.Add((&BatchRequest{Seq: 2}).Encode(nil))         // empty batch
+	corrupt := append([]byte(nil), good...)
+	corrupt[16] = 0xff // first sub-op length overflows the frame
+	f.Add(corrupt)
+	huge := append([]byte(nil), good[:16]...)
+	huge[12], huge[13] = 0xff, 0xff // declares 65535 sub-ops with no payload
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Force the op header so the fuzzer exercises the batch decoder
+		// (mutated headers land in the other decoders, covered elsewhere).
+		if len(raw) >= 4 {
+			raw = append([]byte(nil), raw...)
+			putU32(raw[:0], uint32(OpBatch))
+		}
+		req, err := DecodeRequest(raw)
+		if err != nil {
+			return
+		}
+		b, ok := req.(*BatchRequest)
+		if !ok {
+			t.Fatalf("decodeBatchRequest returned %T", req)
+		}
+		if len(b.Decoded) != len(b.Subs) || len(b.Subs) == 0 || len(b.Subs) > MaxBatchOps {
+			t.Fatalf("inconsistent batch: %d subs, %d decoded", len(b.Subs), len(b.Decoded))
+		}
+		for i, sub := range b.Decoded {
+			if !BatchableOp(sub.Op()) {
+				t.Fatalf("non-batchable sub-op %d: %v", i, sub.Op())
+			}
+		}
+		if enc := b.Encode(nil); !bytes.Equal(enc, raw) {
+			t.Fatalf("batch re-encode mismatch:\n in  %x\n out %x", raw, enc)
 		}
 	})
 }

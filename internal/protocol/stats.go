@@ -149,6 +149,6 @@ func decodeStatsRequest(op Op, b []byte) (Request, error) {
 		}
 		return &StatsQueryRequest{}, nil
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrBadOp, uint32(op))
+		return decodeBatchRequest(op, b)
 	}
 }

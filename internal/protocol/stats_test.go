@@ -168,9 +168,9 @@ func FuzzDecodeStatsReply(f *testing.F) {
 	})
 }
 
-func TestDecodeRequestBeyondStatsSentinel(t *testing.T) {
-	raw := putU32(nil, uint32(opStatsSentinel))
+func TestDecodeRequestBeyondBatchSentinel(t *testing.T) {
+	raw := putU32(nil, uint32(opBatchSentinel))
 	if _, err := DecodeRequest(raw); !errors.Is(err, ErrBadOp) {
-		t.Fatalf("op beyond the stats block: %v, want ErrBadOp", err)
+		t.Fatalf("op beyond the batch block: %v, want ErrBadOp", err)
 	}
 }

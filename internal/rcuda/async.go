@@ -130,11 +130,17 @@ func (c *Client) EventQuery(e cudart.Event) error {
 	return c.eventOp(protocol.OpEventQuery, e)
 }
 
-// MemcpyToDeviceAsync implements cudart.AsyncRuntime.
+// MemcpyToDeviceAsync implements cudart.AsyncRuntime. With batching it
+// coalesces — enqueue copies src during encoding, so the buffer is free to
+// reuse on return just as cudaMemcpyAsync from pageable memory allows.
 func (c *Client) MemcpyToDeviceAsync(dst cudart.DevicePtr, src []byte, s cudart.Stream) error {
-	payload, err := c.roundTrip(&protocol.MemcpyToDeviceAsyncRequest{
+	req := &protocol.MemcpyToDeviceAsyncRequest{
 		Dst: uint32(dst), Stream: uint32(s), Data: src,
-	})
+	}
+	if c.batching {
+		return c.enqueue(req)
+	}
+	payload, err := c.roundTrip(req)
 	if err != nil {
 		return err
 	}
@@ -172,14 +178,18 @@ func (c *Client) MemcpyToHostAsync(dst []byte, src cudart.DevicePtr, s cudart.St
 // LaunchAsync implements cudart.AsyncRuntime, reusing the launch message's
 // stream field.
 func (c *Client) LaunchAsync(name string, grid, block cudart.Dim3, shared uint32, params []byte, s cudart.Stream) error {
-	payload, err := c.roundTrip(&protocol.LaunchRequest{
+	req := &protocol.LaunchRequest{
 		BlockDim:   [3]uint32{block.X, block.Y, block.Z},
 		GridDim:    [2]uint32{grid.X, grid.Y},
 		SharedSize: shared,
 		Stream:     uint32(s),
 		Name:       name,
 		Params:     params,
-	})
+	}
+	if c.batching {
+		return c.enqueue(req)
+	}
+	payload, err := c.roundTrip(req)
 	if err != nil {
 		return err
 	}
@@ -206,9 +216,14 @@ func (c *Client) EventCreate() (cudart.Event, error) {
 	return cudart.Event(resp.Event), nil
 }
 
-// EventRecord implements cudart.AsyncRuntime.
+// EventRecord implements cudart.AsyncRuntime; fire-and-forget, so it
+// coalesces under batching.
 func (c *Client) EventRecord(e cudart.Event, s cudart.Stream) error {
-	payload, err := c.roundTrip(&protocol.EventRecordRequest{Event: uint32(e), Stream: uint32(s)})
+	req := &protocol.EventRecordRequest{Event: uint32(e), Stream: uint32(s)}
+	if c.batching {
+		return c.enqueue(req)
+	}
+	payload, err := c.roundTrip(req)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,207 @@
+package rcuda
+
+import (
+	"fmt"
+
+	"rcuda/internal/cudart"
+	"rcuda/internal/gpu"
+	"rcuda/internal/protocol"
+	"rcuda/internal/transport"
+)
+
+// This file makes the data path RTT-efficient for small-call-dominated
+// workloads — the AI-style traffic of thousands of tiny kernel launches,
+// async copies, and event records where the paper's one-round-trip-per-call
+// protocol pays almost pure network latency. With WithBatching the client
+// coalesces consecutive fire-and-forget calls into one protocol.BatchRequest
+// and flushes it on the first sync point: any call that needs an answer
+// (StreamSynchronize, EventSynchronize, a memcpy to host, ...), a full
+// batch, or Close. The server executes the sub-ops in order and answers
+// with one combined response.
+//
+// Failure semantics follow CUDA's asynchronous model: a batched call
+// returns nil immediately, and an error it produces on the server surfaces
+// at the next sync point (like a failed cudaLaunch surfacing at
+// cudaDeviceSynchronize). Replay safety under retry/reconnect comes from
+// the batch sequence number: the server keeps the last executed sequence
+// and its result codes per session, and answers a re-sent batch from them
+// without executing anything twice.
+
+// Batching defaults: a flush every DefaultBatchOps coalesced calls or once
+// DefaultBatchBytes of encoded sub-ops are pending, whichever comes first.
+// The ops cap keeps a single frame's combined response proportional in
+// size; the byte cap keeps batching from turning many small sends into one
+// bandwidth-bound jumbo frame — on GigaE-class links a frame past the
+// small-message regime (~21 KB) pays a TCP-window excess of milliseconds,
+// far more than the round trips batching saves, so the default stays
+// comfortably below it.
+const (
+	DefaultBatchOps   = 64
+	DefaultBatchBytes = 16 << 10
+)
+
+// WithBatching coalesces consecutive fire-and-forget operations (kernel
+// launches, async host-to-device copies, event records, memsets) into
+// single wire frames, and enables the client-side cache of immutable
+// replies (device count and properties). maxOps <= 0 selects
+// DefaultBatchOps and maxBytes <= 0 selects DefaultBatchBytes; maxOps is
+// clamped to protocol.MaxBatchOps.
+func WithBatching(maxOps, maxBytes int) ClientOption {
+	return func(c *Client) {
+		if maxOps <= 0 {
+			maxOps = DefaultBatchOps
+		}
+		if maxOps > protocol.MaxBatchOps {
+			maxOps = protocol.MaxBatchOps
+		}
+		if maxBytes <= 0 {
+			maxBytes = DefaultBatchBytes
+		}
+		c.batching = true
+		c.caching = true
+		c.batchMaxOps = maxOps
+		c.batchMaxBytes = maxBytes
+	}
+}
+
+// enqueue coalesces one fire-and-forget request into the pending batch,
+// flushing when a threshold is reached. The request is encoded immediately,
+// so the caller's buffers (an async copy's source) are free to reuse on
+// return, exactly as with an unbatched send.
+func (c *Client) enqueue(req protocol.Request) error {
+	if c.closed.Load() {
+		return cudart.ErrorInitialization
+	}
+	if c.lost {
+		return fmt.Errorf("rcuda: %v: %w", req.Op(), ErrSessionLost)
+	}
+	raw := req.Encode(nil)
+	c.pendSubs = append(c.pendSubs, raw)
+	c.pendBytes += 4 + len(raw)
+	c.cstats.opsCoalesced.Add(1)
+	c.observe(req.Op(), req.WireSize(), 0)
+	if len(c.pendSubs) >= c.batchMaxOps || c.pendBytes >= c.batchMaxBytes {
+		return c.flushBatch()
+	}
+	return nil
+}
+
+// flushBatch sends the pending sub-ops as one OpBatch exchange under the
+// retry policy. The pending queue empties whether or not the exchange
+// succeeds — a batch is never re-coalesced — and a sub-op failure reported
+// by the server parks in deferredErr for the next sync point.
+func (c *Client) flushBatch() error {
+	if len(c.pendSubs) == 0 {
+		return nil
+	}
+	// The sequence is fixed before the first attempt so a retry re-sends
+	// the identical frame and the server's dedup can recognize it.
+	c.batchSeq++
+	req := &protocol.BatchRequest{Seq: c.batchSeq, Subs: c.pendSubs}
+	n := len(c.pendSubs)
+	c.pendSubs = nil
+	c.pendBytes = 0
+	var payload []byte
+	err := c.runRetry(protocol.OpBatch, func() error {
+		if err := c.conn.Send(req); err != nil {
+			return fmt.Errorf("rcuda: batch send: %w", err)
+		}
+		p, err := c.conn.Recv()
+		if err != nil {
+			return fmt.Errorf("rcuda: batch recv: %w", err)
+		}
+		payload = p
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	c.cstats.batchesFlushed.Add(1)
+	c.observe(protocol.OpBatch, req.WireSize(), len(payload))
+	resp, err := protocol.DecodeBatchResponse(payload)
+	if err != nil {
+		return err
+	}
+	if len(resp.Codes) != n {
+		return fmt.Errorf("rcuda: batch response carries %d codes for %d sub-ops", len(resp.Codes), n)
+	}
+	if batchErr := cudart.Error(resp.Err).AsError(); batchErr != nil && c.deferredErr == nil {
+		c.deferredErr = batchErr
+	}
+	return nil
+}
+
+// syncPoint runs before every synchronous exchange: it flushes pending
+// batched work so the wire keeps the program's call order, then surfaces
+// the oldest deferred batch error, consuming it — CUDA's sticky-async-error
+// model, where a failed launch reports at the next synchronizing call.
+func (c *Client) syncPoint() error {
+	if !c.batching {
+		return nil
+	}
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
+	if err := c.deferredErr; err != nil {
+		c.deferredErr = nil
+		return err
+	}
+	return nil
+}
+
+// --- Server side --------------------------------------------------------------
+
+// dispatchBatch executes one coalesced frame. A frame whose sequence
+// matches the last executed one is a client retry of an exchange whose
+// response was lost; it is answered from the remembered codes without
+// executing anything, keeping replayed batches exactly-once on the device.
+func (s *Server) dispatchBatch(conn transport.Conn, sess *session, r *protocol.BatchRequest) error {
+	if sess.lastBatchCodes != nil && r.Seq == sess.lastBatchSeq {
+		s.counters.batchReplays.Add(1)
+		return conn.Send(&protocol.BatchResponse{
+			Err:   firstNonzero(sess.lastBatchCodes),
+			Codes: sess.lastBatchCodes,
+		})
+	}
+	subs, err := r.Requests()
+	if err != nil {
+		return fmt.Errorf("rcuda: batch: %w", err)
+	}
+	codes := make([]uint32, len(subs))
+	for i, sub := range subs {
+		ctx := sess.context()
+		var opErr error
+		switch q := sub.(type) {
+		case *protocol.LaunchRequest:
+			grid := gpu.Dim3{X: q.GridDim[0], Y: q.GridDim[1], Z: 1}
+			block := gpu.Dim3{X: q.BlockDim[0], Y: q.BlockDim[1], Z: q.BlockDim[2]}
+			opErr = ctx.LaunchAsync(q.Name, grid, block, q.SharedSize, q.Params, q.Stream)
+		case *protocol.MemcpyToDeviceAsyncRequest:
+			opErr = ctx.CopyToDeviceAsync(q.Dst, q.Data, q.Stream)
+		case *protocol.EventRecordRequest:
+			opErr = ctx.EventRecord(q.Event, q.Stream)
+		case *protocol.MemsetRequest:
+			opErr = ctx.Memset(q.DevPtr, byte(q.Value), q.Size)
+		default:
+			// The decoder admits only batchable sub-ops; reaching here means
+			// the protocol and this dispatcher disagree on that set.
+			return fmt.Errorf("rcuda: unbatchable sub-op %v in batch", sub.Op())
+		}
+		codes[i] = code(opErr)
+	}
+	sess.lastBatchSeq = r.Seq
+	sess.lastBatchCodes = codes
+	s.counters.batchFrames.Add(1)
+	s.counters.batchedOps.Add(int64(len(subs)))
+	return conn.Send(&protocol.BatchResponse{Err: firstNonzero(codes), Codes: codes})
+}
+
+// firstNonzero returns the first failing sub-op code, or zero.
+func firstNonzero(codes []uint32) uint32 {
+	for _, c := range codes {
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}

@@ -1,0 +1,138 @@
+package rcuda
+
+import (
+	"testing"
+	"time"
+
+	"rcuda/internal/calib"
+	"rcuda/internal/faults"
+	"rcuda/internal/gpu"
+	"rcuda/internal/netsim"
+	"rcuda/internal/vclock"
+)
+
+// TestDeviceQueryCacheServesRepeatedPolls pins the cache behavior an
+// inference loop depends on: repeated device count/properties polls cost
+// one round trip each in total, not each time.
+func TestDeviceQueryCacheServesRepeatedPolls(t *testing.T) {
+	client, _, cliEnd, cleanup := startBatchSession(t, netsim.GigaE(), nil, WithBatching(0, 0))
+	defer cleanup()
+
+	before := cliEnd.Stats().MessagesSent
+	var firstName string
+	for i := 0; i < 5; i++ {
+		n, err := client.DeviceCount()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Fatalf("device count %d, want 1", n)
+		}
+		p, err := client.DeviceProperties()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			firstName = p.Name
+		} else if p.Name != firstName {
+			t.Fatalf("cached properties drifted: %q vs %q", p.Name, firstName)
+		}
+	}
+	if sent := cliEnd.Stats().MessagesSent - before; sent != 2 {
+		t.Fatalf("10 polls sent %d messages, want 2", sent)
+	}
+	cs := client.Stats()
+	if cs.CacheMisses != 2 || cs.CacheHits != 8 {
+		t.Fatalf("cache stats %+v, want 2 misses and 8 hits", cs)
+	}
+}
+
+// TestCachePerDeviceProperties checks that properties are cached per
+// selected device on a multi-GPU server, keyed by cudaSetDevice.
+func TestCachePerDeviceProperties(t *testing.T) {
+	clk := vclock.NewSim()
+	second := gpu.New(gpu.Config{Clock: clk, Name: "Tesla C1060 (second)"})
+	srvOpts := []ServerOption{WithDevices(second)}
+	client, _, _, cleanup := startBatchSession(t, netsim.GigaE(), srvOpts, WithBatching(0, 0))
+	defer cleanup()
+
+	if err := client.SetDevice(1); err != nil {
+		t.Fatal(err)
+	}
+	p1, err := client.DeviceProperties()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Name != "Tesla C1060 (second)" {
+		t.Fatalf("device 1 properties %q", p1.Name)
+	}
+	if err := client.SetDevice(0); err != nil {
+		t.Fatal(err)
+	}
+	p0, err := client.DeviceProperties()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.Name == p1.Name {
+		t.Fatal("device 0 served device 1's cached properties")
+	}
+	// Both devices cached now; two more polls are pure hits.
+	if _, err := client.DeviceProperties(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SetDevice(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.DeviceProperties(); err != nil {
+		t.Fatal(err)
+	}
+	cs := client.Stats()
+	if cs.CacheMisses != 2 || cs.CacheHits != 2 {
+		t.Fatalf("cache stats %+v, want 2 misses and 2 hits", cs)
+	}
+}
+
+// TestCacheInvalidatedAcrossReconnect checks the coherence rule: a cache
+// filled over one connection must not survive onto its replacement, even
+// when the reattach lands on the same daemon.
+func TestCacheInvalidatedAcrossReconnect(t *testing.T) {
+	_, addr, cleanup := startTCPServer(t)
+	defer cleanup()
+
+	// Op 4/5 fills the properties cache; op 6: sync send; op 7: sync recv —
+	// inject the reset there to force a reattach.
+	plan := faults.Script(
+		faults.Injection{Op: opsOpenDurable + 3, Dir: faults.DirRecv, Decision: faults.Decision{Kind: faults.KindReset}},
+	)
+	dial := faultyDialer(addr, plan)
+	conn, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Open(conn, moduleImage(t, calib.MM),
+		WithBatching(0, 0), WithRetry(4, 100*time.Microsecond), WithReconnect(dial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if _, err := client.DeviceProperties(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.DeviceSynchronize(); err != nil {
+		t.Fatalf("sync through injected reset: %v", err)
+	}
+	if plan.Injected() == 0 {
+		t.Fatal("scripted fault never fired; op indices drifted")
+	}
+	if _, err := client.DeviceProperties(); err != nil {
+		t.Fatal(err)
+	}
+	cs := client.Stats()
+	if cs.Reconnects != 1 {
+		t.Fatalf("client stats %+v, want one reconnect", cs)
+	}
+	if cs.CacheMisses != 2 || cs.CacheHits != 0 {
+		t.Fatalf("cache stats %+v: the reconnect must have invalidated the cache", cs)
+	}
+}

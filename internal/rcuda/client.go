@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rcuda/internal/cudart"
+	"rcuda/internal/gpu"
 	"rcuda/internal/protocol"
 	"rcuda/internal/transport"
 )
@@ -47,6 +48,23 @@ type Client struct {
 	connBroken   bool
 	lost         bool
 	cstats       clientCounters
+	// Batching state (see batch.go). pendSubs holds the encoded sub-ops of
+	// the open batch; deferredErr is the oldest unreported batched-call
+	// failure, surfaced at the next sync point.
+	batching      bool
+	batchMaxOps   int
+	batchMaxBytes int
+	pendSubs      [][]byte
+	pendBytes     int
+	batchSeq      uint64
+	deferredErr   error
+	// Immutable-reply cache (see cache.go). curDev tracks the device index
+	// selected with SetDevice, keying the properties cache.
+	caching    bool
+	devCount   int
+	devCountOK bool
+	props      map[int]gpu.Properties
+	curDev     int
 }
 
 var _ cudart.Runtime = (*Client)(nil)
@@ -99,7 +117,7 @@ func WithChunkedTransfers(threshold, chunkSize int) ClientOption {
 func Open(conn transport.Conn, module []byte, opts ...ClientOption) (*Client, error) {
 	// The jitter source is seeded, not time-derived, so a fault scenario
 	// replays with identical backoff decisions.
-	c := &Client{conn: conn, retryRNG: rand.New(rand.NewSource(1))}
+	c := &Client{conn: conn, retryRNG: rand.New(rand.NewSource(1)), curDev: cacheCurrentDevice}
 	for _, o := range opts {
 		o(c)
 	}
@@ -170,6 +188,13 @@ func (c *Client) roundTrip(req protocol.Request) ([]byte, error) {
 	if c.closed.Load() {
 		return nil, cudart.ErrorInitialization
 	}
+	// Every synchronous exchange is a sync point for the batching layer:
+	// pending coalesced work must reach the server first so the wire keeps
+	// the program's call order, and a deferred batched-call failure surfaces
+	// here instead of the exchange running.
+	if err := c.syncPoint(); err != nil {
+		return nil, err
+	}
 	var payload []byte
 	err := c.runRetry(req.Op(), func() error {
 		if err := c.conn.Send(req); err != nil {
@@ -221,6 +246,11 @@ func (c *Client) Free(ptr cudart.DevicePtr) error {
 // MemcpyToDevice implements cudart.Runtime.
 func (c *Client) MemcpyToDevice(dst cudart.DevicePtr, src []byte) error {
 	if c.chunkThreshold > 0 && len(src) >= c.chunkThreshold {
+		// The chunked path bypasses roundTrip, so it takes its sync point
+		// here before the transfer starts.
+		if err := c.syncPoint(); err != nil {
+			return err
+		}
 		// Retry restarts the whole transfer from Begin: the server-side
 		// rewrite of the same bytes to the same region is idempotent.
 		return c.runRetry(protocol.OpMemcpyToDevice, func() error {
@@ -242,6 +272,9 @@ func (c *Client) MemcpyToDevice(dst cudart.DevicePtr, src []byte) error {
 // straight into dst, so the call allocates nothing for the data itself.
 func (c *Client) MemcpyToHost(dst []byte, src cudart.DevicePtr) error {
 	if c.chunkThreshold > 0 && len(dst) >= c.chunkThreshold {
+		if err := c.syncPoint(); err != nil {
+			return err
+		}
 		return c.runRetry(protocol.OpMemcpyToHost, func() error {
 			return c.memcpyToHostChunked(dst, src)
 		})
@@ -260,15 +293,21 @@ func (c *Client) MemcpyToHost(dst []byte, src cudart.DevicePtr) error {
 	return err
 }
 
-// Launch implements cudart.Runtime.
+// Launch implements cudart.Runtime. cudaLaunch is asynchronous by
+// definition, so with batching enabled it coalesces instead of paying a
+// round trip; its server-side error surfaces at the next sync point.
 func (c *Client) Launch(name string, grid, block cudart.Dim3, shared uint32, params []byte) error {
-	payload, err := c.roundTrip(&protocol.LaunchRequest{
+	req := &protocol.LaunchRequest{
 		BlockDim:   [3]uint32{block.X, block.Y, block.Z},
 		GridDim:    [2]uint32{grid.X, grid.Y},
 		SharedSize: shared,
 		Name:       name,
 		Params:     params,
-	})
+	}
+	if c.batching {
+		return c.enqueue(req)
+	}
+	payload, err := c.roundTrip(req)
 	if err != nil {
 		return err
 	}
@@ -313,6 +352,13 @@ func (c *Client) Close() error {
 			c.lost = true
 		}
 	}
+	// Close is the final sync point: pending batched work is flushed so its
+	// effects land before finalization, and a deferred batched-call failure
+	// gets its last chance to reach the application.
+	var flushErr error
+	if c.batching && !c.lost {
+		flushErr = c.syncPoint()
+	}
 	req := &protocol.FinalizeRequest{}
 	sendErr := c.conn.Send(req)
 	if sendErr == nil {
@@ -320,6 +366,9 @@ func (c *Client) Close() error {
 	}
 	c.observer = nil
 	closeErr := c.conn.Close()
+	if flushErr != nil {
+		return flushErr
+	}
 	if sendErr != nil {
 		return sendErr
 	}

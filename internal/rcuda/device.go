@@ -12,8 +12,13 @@ import (
 
 var _ cudart.DeviceRuntime = (*Client)(nil)
 
-// DeviceCount implements cudart.DeviceRuntime.
+// DeviceCount implements cudart.DeviceRuntime. The answer cannot change
+// while the session is pinned to one daemon, so with caching enabled only
+// the first call per connection pays a round trip (see cache.go).
 func (c *Client) DeviceCount() (int, error) {
+	if n, ok := c.cachedDeviceCount(); ok {
+		return n, nil
+	}
 	payload, err := c.roundTrip(&protocol.GetDeviceCountRequest{})
 	if err != nil {
 		return 0, err
@@ -25,6 +30,7 @@ func (c *Client) DeviceCount() (int, error) {
 	if err := cudart.Error(resp.Err).AsError(); err != nil {
 		return 0, err
 	}
+	c.storeDeviceCount(int(resp.Count))
 	return int(resp.Count), nil
 }
 
@@ -32,6 +38,9 @@ func (c *Client) DeviceCount() (int, error) {
 // copies, and launches target the selected server GPU on its own
 // pre-initialized context.
 func (c *Client) SetDevice(device int) error {
+	// A synchronous exchange on purpose even under batching: pending
+	// batched ops must execute on the previously selected device, and
+	// roundTrip's sync point guarantees exactly that ordering.
 	payload, err := c.roundTrip(&protocol.SetDeviceRequest{Device: uint32(device)})
 	if err != nil {
 		return err
@@ -40,11 +49,19 @@ func (c *Client) SetDevice(device int) error {
 	if err != nil {
 		return err
 	}
-	return cudart.Error(resp.Err).AsError()
+	if err := cudart.Error(resp.Err).AsError(); err != nil {
+		return err
+	}
+	c.curDev = device
+	return nil
 }
 
-// DeviceProperties implements cudart.DeviceRuntime.
+// DeviceProperties implements cudart.DeviceRuntime, served from the
+// per-connection cache after the first reply for each selected device.
 func (c *Client) DeviceProperties() (gpu.Properties, error) {
+	if p, ok := c.cachedProperties(); ok {
+		return p, nil
+	}
 	payload, err := c.roundTrip(&protocol.GetDevicePropertiesRequest{})
 	if err != nil {
 		return gpu.Properties{}, err
@@ -56,7 +73,7 @@ func (c *Client) DeviceProperties() (gpu.Properties, error) {
 	if err := cudart.Error(resp.Err).AsError(); err != nil {
 		return gpu.Properties{}, err
 	}
-	return gpu.Properties{
+	p := gpu.Properties{
 		Name:            resp.Name,
 		MemoryBytes:     resp.MemoryBytes,
 		CapabilityMajor: resp.CapabilityMajor,
@@ -64,14 +81,21 @@ func (c *Client) DeviceProperties() (gpu.Properties, error) {
 		Multiprocessors: resp.Multiprocessors,
 		ClockMHz:        resp.ClockMHz,
 		MemoryMBps:      resp.MemoryMBps,
-	}, nil
+	}
+	c.storeProperties(p)
+	return p, nil
 }
 
-// Memset implements cudart.DeviceRuntime.
+// Memset implements cudart.DeviceRuntime; a fire-and-forget write, so it
+// coalesces under batching.
 func (c *Client) Memset(ptr cudart.DevicePtr, value byte, size uint32) error {
-	payload, err := c.roundTrip(&protocol.MemsetRequest{
+	req := &protocol.MemsetRequest{
 		DevPtr: uint32(ptr), Value: uint32(value), Size: size,
-	})
+	}
+	if c.batching {
+		return c.enqueue(req)
+	}
+	payload, err := c.roundTrip(req)
 	if err != nil {
 		return err
 	}

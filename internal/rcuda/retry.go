@@ -94,7 +94,12 @@ func opIdempotent(op protocol.Op) bool {
 		protocol.OpStreamSynchronize,
 		protocol.OpEventSynchronize,
 		protocol.OpSessionHello,
-		protocol.OpStatsQuery:
+		protocol.OpStatsQuery,
+		// A batch carries launches and records — individually unsafe to
+		// retry — but the server deduplicates by the frame's sequence
+		// number and replays the stored result codes, so re-sending the
+		// identical frame can never execute anything twice.
+		protocol.OpBatch:
 		return true
 	default:
 		return false
@@ -212,6 +217,9 @@ func (c *Client) reconnect() error {
 	c.conn = conn
 	c.capMajor, c.capMinor = resp.CapabilityMajor, resp.CapabilityMinor
 	c.connBroken = false
+	// The immutable-reply cache is only trusted for the connection that
+	// filled it; a replacement connection may lead anywhere.
+	c.invalidateCache()
 	c.cstats.reconnects.Add(1)
 	return nil
 }

@@ -269,6 +269,9 @@ func TestOpIdempotencyTable(t *testing.T) {
 		protocol.OpMemset, protocol.OpStreamQuery, protocol.OpEventQuery,
 		protocol.OpEventElapsed, protocol.OpStreamSynchronize,
 		protocol.OpEventSynchronize, protocol.OpSessionHello,
+		// Safe despite carrying launches: the server deduplicates replayed
+		// batches by sequence number (see dispatchBatch).
+		protocol.OpBatch,
 	}
 	unsafe := []protocol.Op{
 		protocol.OpMalloc, protocol.OpFree, protocol.OpLaunch,

@@ -328,6 +328,12 @@ type session struct {
 	parkedAt time.Time
 	// destroyed is guarded by srv.mu and flips exactly once.
 	destroyed bool
+	// Batch replay protection (see dispatchBatch): the sequence and result
+	// codes of the last executed batch. Only the session's single handler
+	// goroutine touches them, and they survive park/reattach so a batch
+	// replayed across a reconnect is still deduplicated.
+	lastBatchSeq   uint64
+	lastBatchCodes []uint32
 }
 
 // context returns the context of the currently selected device.
@@ -768,6 +774,8 @@ func (s *Server) dispatch(conn transport.Conn, sess *session, req protocol.Reque
 	case *protocol.StatsQueryRequest:
 		s.counters.statsQueries.Add(1)
 		return false, conn.Send(s.statsReply())
+	case *protocol.BatchRequest:
+		return false, s.dispatchBatch(conn, sess, r)
 	case *protocol.ReattachRequest:
 		// Reattach is only legal as a connection's opening message.
 		return false, fmt.Errorf("rcuda: reattach inside an established session")

@@ -52,6 +52,14 @@ type ServerStats struct {
 	// StatsQueries counts StatsQuery requests answered, both broker health
 	// probes and in-session queries.
 	StatsQueries int64
+	// BatchFrames counts OpBatch frames executed (replays excluded) and
+	// BatchedOps the sub-operations they carried — the round trips the
+	// batching layer saved are BatchedOps − BatchFrames.
+	BatchFrames int64
+	BatchedOps  int64
+	// BatchReplays counts batches answered from the per-session dedup state
+	// without re-execution (a client retried after losing the response).
+	BatchReplays int64
 }
 
 // serverCounters backs Server.Stats with atomics.
@@ -70,6 +78,9 @@ type serverCounters struct {
 	evictions        atomic.Int64
 	forcedCloses     atomic.Int64
 	statsQueries     atomic.Int64
+	batchFrames      atomic.Int64
+	batchedOps       atomic.Int64
+	batchReplays     atomic.Int64
 }
 
 // Stats returns a snapshot of the daemon's counters.
@@ -90,6 +101,9 @@ func (s *Server) Stats() ServerStats {
 		Evictions:        s.counters.evictions.Load(),
 		ForcedCloses:     s.counters.forcedCloses.Load(),
 		StatsQueries:     s.counters.statsQueries.Load(),
+		BatchFrames:      s.counters.batchFrames.Load(),
+		BatchedOps:       s.counters.batchedOps.Load(),
+		BatchReplays:     s.counters.batchReplays.Load(),
 	}
 }
 
@@ -238,23 +252,40 @@ type ClientStats struct {
 	Reconnects int64
 	// Recovered counts operations that ultimately succeeded on a retry.
 	Recovered int64
+	// BatchesFlushed counts OpBatch frames sent and OpsCoalesced the calls
+	// that rode in them instead of paying their own round trip
+	// (WithBatching).
+	BatchesFlushed int64
+	OpsCoalesced   int64
+	// CacheHits and CacheMisses count immutable-reply lookups served from
+	// and filled into the client cache (device count and properties).
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // clientCounters backs Client.Stats with atomics so observers can poll a
 // client that is mid-operation on another goroutine.
 type clientCounters struct {
-	connFaults atomic.Int64
-	retries    atomic.Int64
-	reconnects atomic.Int64
-	recovered  atomic.Int64
+	connFaults     atomic.Int64
+	retries        atomic.Int64
+	reconnects     atomic.Int64
+	recovered      atomic.Int64
+	batchesFlushed atomic.Int64
+	opsCoalesced   atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
 }
 
 // Stats returns a snapshot of the client's resilience counters.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
-		ConnFaults: c.cstats.connFaults.Load(),
-		Retries:    c.cstats.retries.Load(),
-		Reconnects: c.cstats.reconnects.Load(),
-		Recovered:  c.cstats.recovered.Load(),
+		ConnFaults:     c.cstats.connFaults.Load(),
+		Retries:        c.cstats.retries.Load(),
+		Reconnects:     c.cstats.reconnects.Load(),
+		Recovered:      c.cstats.recovered.Load(),
+		BatchesFlushed: c.cstats.batchesFlushed.Load(),
+		OpsCoalesced:   c.cstats.opsCoalesced.Load(),
+		CacheHits:      c.cstats.cacheHits.Load(),
+		CacheMisses:    c.cstats.cacheMisses.Load(),
 	}
 }

@@ -78,7 +78,44 @@ type (
 	// TrackedRuntime adds cudaGetLastError/cudaPeekAtLastError semantics
 	// to any Runtime; create one with Track.
 	TrackedRuntime = cudart.TrackedRuntime
+	// ClientOption configures the remote client (batching, chunked
+	// transfers, retry/reconnect).
+	ClientOption = mw.ClientOption
 )
+
+// WithBatching coalesces fire-and-forget calls (async copies, launches,
+// event records, memsets) into one wire frame that flushes at the next
+// synchronizing call, and caches immutable device-query replies for the
+// lifetime of the connection. Zero arguments select the defaults
+// (DefaultBatchOps ops / DefaultBatchBytes bytes per frame).
+func WithBatching(maxOps, maxBytes int) ClientOption { return mw.WithBatching(maxOps, maxBytes) }
+
+// Default per-frame batching limits (see DESIGN.md §11 for why the byte
+// cap stays below GigaE's small-message regime).
+const (
+	DefaultBatchOps   = mw.DefaultBatchOps
+	DefaultBatchBytes = mw.DefaultBatchBytes
+)
+
+// WithChunkedTransfers streams copies at or above the threshold as
+// pipelined chunks so the server overlaps the wire with PCIe. Pays off on
+// fast interconnects only; see DESIGN.md §7.
+func WithChunkedTransfers(threshold, chunkSize int) ClientOption {
+	return mw.WithChunkedTransfers(threshold, chunkSize)
+}
+
+// WithRetry retries idempotent calls with exponential backoff after
+// transient transport faults.
+func WithRetry(maxAttempts int, backoff time.Duration) ClientOption {
+	return mw.WithRetry(maxAttempts, backoff)
+}
+
+// WithReconnect redials through the given function and reattaches the
+// durable session when the connection is lost mid-run. Reconnecting
+// invalidates any cached device-query replies.
+func WithReconnect(dial func() (transport.Conn, error)) ClientOption {
+	return mw.WithReconnect(dial)
+}
 
 // Track wraps a runtime (local or remote) with CUDA's sticky-error
 // protocol.
@@ -110,12 +147,12 @@ func NewServer(dev *Device) *Server { return mw.NewServer(dev) }
 
 // Dial connects to an rCUDA server over TCP (Nagle disabled, as in the
 // paper) and opens a session with the given GPU module image.
-func Dial(addr string, module []byte) (*Client, error) {
+func Dial(addr string, module []byte, opts ...ClientOption) (*Client, error) {
 	conn, err := transport.DialTCP(addr)
 	if err != nil {
 		return nil, err
 	}
-	c, err := mw.Open(conn, module)
+	c, err := mw.Open(conn, module, opts...)
 	if err != nil {
 		_ = conn.Close()
 		return nil, err
