@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify lint chaos soak bench bench-batch fuzz pool repro figures experiments clean help
+.PHONY: all build test race verify lint chaos soak bench bench-batch bench-scale bench-scale-smoke fuzz pool repro figures experiments clean help
 
 all: build test
 
@@ -18,6 +18,8 @@ help:
 	@echo "  soak         10k mixed ops at ~1% fault rate, leak-checked, under -race"
 	@echo "  bench        run all benchmarks"
 	@echo "  bench-batch  run the batched-path inference bench, refresh BENCH_batching.json"
+	@echo "  bench-scale  run the 10^4-10^5 session scale harness, refresh BENCH_loadscale.json"
+	@echo "  bench-scale-smoke  CI freshness check: re-run the <=10^4 scale scenarios"
 	@echo "  fuzz         short fuzzing pass over the wire-protocol decoders"
 	@echo "  pool         broker demo: 3 local daemons, one killed mid-batch"
 	@echo "  repro        regenerate every table and figure of the paper on stdout"
@@ -42,11 +44,11 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 
 # Tier-1 verification: full build + tests, the concurrent data-path packages
-# (transport framing, middleware streaming + batching, pool broker, the
-# full-stack workloads) under the race detector, and the deterministic
-# fault-injection suite.
+# (transport framing, middleware streaming + batching, pool broker + its
+# autoscaler, the scale harness, the full-stack workloads) under the race
+# detector, and the deterministic fault-injection suite.
 verify: build test chaos
-	$(GO) test -race ./internal/transport/... ./internal/rcuda/... ./internal/broker/... ./internal/workload/...
+	$(GO) test -race ./internal/transport/... ./internal/rcuda/... ./internal/broker/... ./internal/loadgen/... ./internal/workload/...
 
 # Chaos suite: every fault kind's transport semantics, the retry policy, and
 # the MM/FFT case studies under scripted and 50 consecutive seeded fault
@@ -71,9 +73,22 @@ bench:
 bench-batch:
 	$(GO) run ./cmd/rcuda-bench-batch -out BENCH_batching.json
 
+# Deterministic scale trajectory: 10^4-session smoke scenarios plus the
+# 10^5-session autoscaled run, all on the virtual clock. Commit the
+# refreshed BENCH_loadscale.json so placement-behavior drift shows up in
+# review.
+bench-scale:
+	$(GO) run ./cmd/rcuda-loadgen -out BENCH_loadscale.json
+
+# CI freshness check: re-run only the scenarios at or under 10^4 sessions
+# and fail if the committed BENCH_loadscale.json does not match.
+bench-scale-smoke:
+	$(GO) run ./cmd/rcuda-loadgen -check -cap 10000 -out BENCH_loadscale.json
+
 # Short fuzzing pass over the wire-protocol decoders.
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=30s ./internal/protocol/
+	$(GO) test -fuzz=FuzzDecodeStatsReply -fuzztime=30s ./internal/protocol/
 
 # Broker demo: spawn three local daemons, run a verified MM/FFT batch through
 # the pool, and kill one server mid-job to show failover with clean results.

@@ -1,0 +1,174 @@
+package broker
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeDriver records scale actions and can veto retirements.
+type fakeDriver struct {
+	daemons  int
+	vetoes   int // pending retire vetoes to emit
+	spawnErr error
+}
+
+func (d *fakeDriver) Spawn() error {
+	if d.spawnErr != nil {
+		return d.spawnErr
+	}
+	d.daemons++
+	return nil
+}
+
+func (d *fakeDriver) Retire() (bool, error) {
+	if d.vetoes > 0 {
+		d.vetoes--
+		return false, nil
+	}
+	d.daemons--
+	return true, nil
+}
+
+func TestAutoscalerDefaults(t *testing.T) {
+	cfg := AutoscalerConfig{}.withDefaults()
+	if cfg.Min != 1 || cfg.Max != 64 || cfg.DaemonCapacity != 64 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if cfg.DownThreshold >= cfg.UpThreshold || cfg.TargetOccupancy <= cfg.DownThreshold {
+		t.Fatalf("thresholds out of order: %+v", cfg)
+	}
+}
+
+func TestAutoscalerScalesUpTowardTarget(t *testing.T) {
+	d := &fakeDriver{daemons: 1}
+	a := NewAutoscaler(AutoscalerConfig{
+		Min: 1, Max: 10, DaemonCapacity: 10, TargetOccupancy: 0.5,
+		UpThreshold: 0.8, DownThreshold: 0.2, Cooldown: time.Second,
+	}, d)
+	// demand 40 on 1×10 capacity: occupancy 4.0 ≥ 0.8; desired =
+	// ceil(40/(10·0.5)) = 8.
+	delta, err := a.Observe(0, 40, d.daemons)
+	if err != nil || delta != 7 || d.daemons != 8 {
+		t.Fatalf("scale-up: delta=%d daemons=%d err=%v", delta, d.daemons, err)
+	}
+	if s := a.Stats(); s.ScaleUps != 7 || s.UpDecisions != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestAutoscalerHysteresisBand(t *testing.T) {
+	d := &fakeDriver{daemons: 4}
+	a := NewAutoscaler(AutoscalerConfig{
+		Min: 1, Max: 10, DaemonCapacity: 10, TargetOccupancy: 0.5,
+		UpThreshold: 0.8, DownThreshold: 0.2, Cooldown: time.Second,
+	}, d)
+	// Occupancy 0.5 sits inside (0.2, 0.8): no action even though desired
+	// (4) happens to equal current — and none either at 0.75 or 0.25.
+	for _, demand := range []int{20, 30, 10} {
+		if delta, _ := a.Observe(0, demand, d.daemons); delta != 0 {
+			t.Fatalf("demand %d inside band moved the fleet by %d", demand, delta)
+		}
+	}
+	if d.daemons != 4 {
+		t.Fatalf("fleet moved to %d inside the hysteresis band", d.daemons)
+	}
+}
+
+func TestAutoscalerCooldownSuppresses(t *testing.T) {
+	d := &fakeDriver{daemons: 1}
+	a := NewAutoscaler(AutoscalerConfig{
+		Min: 1, Max: 10, DaemonCapacity: 10, TargetOccupancy: 0.5,
+		UpThreshold: 0.8, DownThreshold: 0.2, Cooldown: 10 * time.Second,
+	}, d)
+	if delta, _ := a.Observe(0, 20, d.daemons); delta != 3 {
+		t.Fatalf("first action delta=%d", delta)
+	}
+	// Another trip 1s later is held by the 10s cooldown.
+	if delta, _ := a.Observe(time.Second, 200, d.daemons); delta != 0 {
+		t.Fatalf("cooldown breached: delta=%d", delta)
+	}
+	if s := a.Stats(); s.CooldownHolds != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	// After the cooldown expires the controller acts again.
+	if delta, _ := a.Observe(11*time.Second, 200, d.daemons); delta <= 0 {
+		t.Fatalf("post-cooldown delta=%d", delta)
+	}
+}
+
+func TestAutoscalerScaleDownVeto(t *testing.T) {
+	d := &fakeDriver{daemons: 6, vetoes: 1}
+	a := NewAutoscaler(AutoscalerConfig{
+		Min: 1, Max: 10, DaemonCapacity: 10, TargetOccupancy: 0.5,
+		UpThreshold: 0.8, DownThreshold: 0.2, Cooldown: time.Second,
+	}, d)
+	// demand 5 on 6×10: occupancy 0.083 ≤ 0.2; desired = 1. The first
+	// Retire is vetoed (a daemon still holds sessions), which ends the
+	// decision without stranding anything.
+	delta, err := a.Observe(0, 5, d.daemons)
+	if err != nil || delta != 0 || d.daemons != 6 {
+		t.Fatalf("vetoed scale-down: delta=%d daemons=%d err=%v", delta, d.daemons, err)
+	}
+	if s := a.Stats(); s.RetireVetoes != 1 || s.ScaleDowns != 0 || s.DownDecisions != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	// With the veto cleared the next trip drains toward the target.
+	delta, err = a.Observe(2*time.Second, 5, d.daemons)
+	if err != nil || delta != -5 || d.daemons != 1 {
+		t.Fatalf("drained scale-down: delta=%d daemons=%d err=%v", delta, d.daemons, err)
+	}
+}
+
+func TestAutoscalerFloorIgnoresCooldown(t *testing.T) {
+	d := &fakeDriver{daemons: 3}
+	a := NewAutoscaler(AutoscalerConfig{
+		Min: 2, Max: 10, DaemonCapacity: 10, TargetOccupancy: 0.5,
+		UpThreshold: 0.8, DownThreshold: 0.2, Cooldown: time.Hour,
+	}, d)
+	if delta, _ := a.Observe(0, 15, d.daemons); delta != 0 {
+		t.Fatalf("in-band observation acted: %d", delta)
+	}
+	// Chaos kills the fleet below Min: the floor is restored immediately,
+	// cooldown or not.
+	d.daemons = 0
+	delta, err := a.Observe(time.Millisecond, 0, d.daemons)
+	if err != nil || delta < 2 || d.daemons < 2 {
+		t.Fatalf("floor restore: delta=%d daemons=%d err=%v", delta, d.daemons, err)
+	}
+}
+
+func TestAutoscalerMaxStepAndBounds(t *testing.T) {
+	d := &fakeDriver{daemons: 1}
+	a := NewAutoscaler(AutoscalerConfig{
+		Min: 1, Max: 4, DaemonCapacity: 10, TargetOccupancy: 0.5,
+		UpThreshold: 0.8, DownThreshold: 0.2, Cooldown: time.Second, MaxStep: 1,
+	}, d)
+	// Huge demand, but MaxStep caps each decision at one daemon and Max
+	// caps the fleet at 4.
+	for i := 0; i < 10; i++ {
+		_, _ = a.Observe(time.Duration(i)*2*time.Second, 1000, d.daemons)
+	}
+	if d.daemons != 4 {
+		t.Fatalf("fleet = %d, want Max=4 via single steps", d.daemons)
+	}
+	if s := a.Stats(); s.ScaleUps != 3 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestAutoscalerSpawnErrorSurfaces(t *testing.T) {
+	boom := errors.New("no capacity")
+	d := &fakeDriver{daemons: 1, spawnErr: boom}
+	a := NewAutoscaler(AutoscalerConfig{
+		Min: 1, Max: 10, DaemonCapacity: 10, TargetOccupancy: 0.5,
+		UpThreshold: 0.8, DownThreshold: 0.2, Cooldown: time.Second,
+	}, d)
+	_, err := a.Observe(0, 100, d.daemons)
+	if !errors.Is(err, boom) {
+		t.Fatalf("spawn error not surfaced: %v", err)
+	}
+	if s := a.Stats(); s.SpawnErrors != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}

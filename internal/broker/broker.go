@@ -10,12 +10,16 @@
 // Sessions opened through the pool are plain rcuda clients: every policy
 // decision happens at placement time, after which the application talks to
 // its server directly with no broker on the data path.
+//
+// The placement decisions themselves live in Placer, which Pool wraps with
+// real dialing and probing; Autoscaler closes the elasticity loop by
+// spawning and retiring endpoints from observed occupancy. Both are reused
+// sans sockets by internal/loadgen to drive 10^5–10^6 simulated sessions.
 package broker
 
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"rcuda/internal/calib"
@@ -46,18 +50,19 @@ type Endpoint struct {
 	Link *netsim.Link
 }
 
-// endpointState is the pool's live view of one endpoint.
+// endpointState is the placer's live view of one endpoint.
 type endpointState struct {
 	ep      Endpoint
 	up      bool
+	retired bool
 	lastErr error
 	// load is the last successful probe reply; nil before the first probe.
 	load *protocol.StatsReply
-	// placed counts sessions this pool placed on the endpoint since the
-	// last probe, so a burst of placements between probes does not stampede
-	// the currently least-loaded server.
+	// placed counts sessions placed on the endpoint since the last probe,
+	// so a burst of placements between probes does not stampede the
+	// currently least-loaded server.
 	placed int64
-	// probeConn is the persistent health-probe connection.
+	// probeConn is the persistent health-probe connection (Pool only).
 	probeConn transport.Conn
 }
 
@@ -75,13 +80,9 @@ type JobSpec struct {
 
 // Pool is a client-side GPU pool over a set of rcudad endpoints.
 type Pool struct {
-	mu     sync.Mutex
-	eps    []*endpointState
-	policy Policy
-	rr     int
+	pl *Placer
 
 	clientOpts []rcuda.ClientOption
-	stats      poolCounters
 
 	probeStop chan struct{}
 	probeDone chan struct{}
@@ -92,7 +93,7 @@ type Option func(*Pool)
 
 // WithPolicy selects the placement policy; the default is LeastLoaded.
 func WithPolicy(p Policy) Option {
-	return func(pl *Pool) { pl.policy = p }
+	return func(pl *Pool) { pl.pl.state.policy = p }
 }
 
 // WithClientOptions appends options applied to every session the pool
@@ -121,20 +122,47 @@ func New(eps []Endpoint, opts ...Option) (*Pool, error) {
 	if len(eps) == 0 {
 		return nil, errors.New("broker: a pool needs at least one endpoint")
 	}
-	p := &Pool{}
+	p := &Pool{pl: NewPlacer(LeastLoaded)}
 	for i, ep := range eps {
 		if ep.Dial == nil {
 			return nil, fmt.Errorf("broker: endpoint %d (%q) has no Dial", i, ep.Name)
 		}
-		if ep.Name == "" {
-			ep.Name = fmt.Sprintf("server-%d", i)
-		}
-		p.eps = append(p.eps, &endpointState{ep: ep, up: true})
+		p.pl.Add(ep)
 	}
 	for _, o := range opts {
 		o(p)
 	}
 	return p, nil
+}
+
+// AddEndpoint registers a new endpoint on a live pool — the elastic
+// scale-up primitive — and returns its stable index.
+func (p *Pool) AddEndpoint(ep Endpoint) (int, error) {
+	if ep.Dial == nil {
+		return 0, fmt.Errorf("broker: endpoint %q has no Dial", ep.Name)
+	}
+	return p.pl.Add(ep), nil
+}
+
+// RetireEndpoint excludes an endpoint from future placements and closes its
+// probe connection — the elastic scale-down primitive. Sessions already
+// placed there are unaffected; the caller is responsible for draining them
+// (or relying on failover) before stopping the server itself.
+func (p *Pool) RetireEndpoint(idx int) {
+	s := &p.pl.state
+	s.mu.Lock()
+	if idx < 0 || idx >= len(s.eps) {
+		s.mu.Unlock()
+		return
+	}
+	st := s.eps[idx]
+	conn := st.probeConn
+	st.probeConn = nil
+	s.mu.Unlock()
+	p.pl.Retire(idx)
+	if conn != nil {
+		_ = conn.Close()
+	}
 }
 
 // Close stops the background prober and closes every probe connection.
@@ -145,9 +173,10 @@ func (p *Pool) Close() error {
 		<-p.probeDone
 		p.probeStop = nil
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, st := range p.eps {
+	s := &p.pl.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.eps {
 		if st.probeConn != nil {
 			_ = st.probeConn.Close()
 			st.probeConn = nil
@@ -170,42 +199,25 @@ func (p *Pool) probeLoop(d time.Duration) {
 	}
 }
 
-// Refresh synchronously probes every endpoint once: it sends a StatsQuery
-// on the endpoint's persistent probe connection (dialing one if needed),
-// records the load reply, and marks the endpoint up. A failed probe marks
-// it down and drops the connection so the next round redials.
+// Refresh synchronously probes every non-retired endpoint once: it sends a
+// StatsQuery on the endpoint's persistent probe connection (dialing one if
+// needed), records the load reply, and marks the endpoint up. A failed
+// probe marks it down and drops the connection so the next round redials.
 func (p *Pool) Refresh() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, st := range p.eps {
-		p.probeOne(st)
-	}
-}
-
-// probeOne runs one probe exchange; the caller holds p.mu.
-func (p *Pool) probeOne(st *endpointState) {
-	p.stats.probes.Add(1)
-	reply, err := st.probe()
-	if err != nil {
-		p.stats.probeFailures.Add(1)
-		if st.up {
-			st.up = false
-			p.stats.markdowns.Add(1)
+	s := &p.pl.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for idx, st := range s.eps {
+		if st.retired {
+			continue
 		}
-		st.lastErr = err
-		return
-	}
-	st.load = reply
-	st.placed = 0
-	st.lastErr = nil
-	if !st.up {
-		st.up = true
-		p.stats.markups.Add(1)
+		reply, err := st.probe()
+		s.noteProbe(idx, reply, err)
 	}
 }
 
 // probe performs the wire exchange for one probe, managing the persistent
-// connection.
+// connection. The caller holds the placer mutex.
 func (st *endpointState) probe() (*protocol.StatsReply, error) {
 	if st.probeConn == nil {
 		dial := st.ep.ProbeDial
@@ -261,9 +273,7 @@ func (p *Pool) Open(module []byte, spec JobSpec) (*Session, error) {
 func (p *Pool) open(module []byte, spec JobSpec, exclude map[int]bool) (*Session, error) {
 	var lastErr error
 	for {
-		p.mu.Lock()
-		idx, ok := p.pickLocked(spec, exclude)
-		p.mu.Unlock()
+		idx, ok := p.pl.Pick(spec, exclude)
 		if !ok {
 			if lastErr != nil {
 				return nil, fmt.Errorf("%w (last error: %v)", ErrNoServers, lastErr)
@@ -278,20 +288,21 @@ func (p *Pool) open(module []byte, spec JobSpec, exclude map[int]bool) (*Session
 		lastErr = err
 		if errors.Is(err, rcuda.ErrServerBusy) {
 			// Admission refusal: the server is healthy, just full. Spill.
-			p.stats.spills.Add(1)
+			p.pl.NoteSpill()
 			continue
 		}
 		// Connection-level failure: mark the endpoint down until a probe
 		// sees it again.
-		p.noteFailure(idx, err)
+		p.pl.NoteFailure(idx, err)
 	}
 }
 
 // tryOpen dials one endpoint and opens a durable session on it.
 func (p *Pool) tryOpen(idx int, module []byte) (*Session, error) {
-	p.mu.Lock()
-	ep := p.eps[idx].ep
-	p.mu.Unlock()
+	s := &p.pl.state
+	s.mu.Lock()
+	ep := s.eps[idx].ep
+	s.mu.Unlock()
 	conn, err := ep.Dial()
 	if err != nil {
 		return nil, fmt.Errorf("broker: dial %s: %w", ep.Name, err)
@@ -305,23 +316,8 @@ func (p *Pool) tryOpen(idx int, module []byte) (*Session, error) {
 		_ = conn.Close()
 		return nil, err
 	}
-	p.mu.Lock()
-	p.eps[idx].placed++
-	p.mu.Unlock()
-	p.stats.placements.Add(1)
+	p.pl.NotePlaced(idx)
 	return &Session{Client: client, Endpoint: ep.Name, idx: idx}, nil
-}
-
-// noteFailure marks an endpoint down after a placement or session failure.
-func (p *Pool) noteFailure(idx int, err error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	st := p.eps[idx]
-	st.lastErr = err
-	if st.up {
-		st.up = false
-		p.stats.markdowns.Add(1)
-	}
 }
 
 // Run executes job in a pool-placed session with failover: the session is
@@ -352,8 +348,8 @@ func (p *Pool) Run(module []byte, spec JobSpec, job func(cudart.Runtime) error) 
 		if !isSessionLoss(jobErr) {
 			return jobErr
 		}
-		p.stats.failovers.Add(1)
-		p.noteFailure(sess.idx, jobErr)
+		p.pl.NoteFailover()
+		p.pl.NoteFailure(sess.idx, jobErr)
 		exclude[sess.idx] = true
 	}
 }
@@ -368,8 +364,4 @@ func isSessionLoss(err error) bool {
 }
 
 // size returns the endpoint count.
-func (p *Pool) size() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.eps)
-}
+func (p *Pool) size() int { return p.pl.Len() }

@@ -1,0 +1,239 @@
+package broker
+
+import (
+	"fmt"
+	"sync"
+
+	"rcuda/internal/protocol"
+)
+
+// Placer is the pool's placement core, factored out of Pool so the same
+// code path decides placements whether the endpoints are live rcudad
+// servers (Pool dials them and moves real frames) or the load generator's
+// simulated daemons (internal/loadgen feeds gauges directly and never opens
+// a socket). It owns the endpoint table, the live health/load view, the
+// policy ranking, and the pool counters; everything wire-shaped — dialing,
+// probing, session opening — stays in Pool.
+//
+// A Placer is safe for concurrent use. Endpoint indices are stable for the
+// Placer's lifetime: retiring an endpoint excludes it from future picks but
+// keeps its slot (and its accumulated stats) addressable, so sessions that
+// recorded their placement index stay meaningful during elastic scale-down.
+type Placer struct {
+	// The zero value is unusable; NewPlacer initializes.
+	state placerState
+}
+
+// placerState separates the lockable core so Pool (same package) can keep
+// its probe-connection bookkeeping under the same mutex.
+type placerState struct {
+	mu     sync.Mutex
+	eps    []*endpointState
+	policy Policy
+	rr     int
+	stats  poolCounters
+}
+
+// NewPlacer returns an empty placer using the given policy. Endpoints are
+// added with Add.
+func NewPlacer(policy Policy) *Placer {
+	p := &Placer{}
+	p.state.policy = policy
+	return p
+}
+
+// Add registers an endpoint and returns its stable index. The endpoint
+// starts marked up, like New's. Only Name and Link matter to a pure
+// placer; Dial may be nil when no real connections will be opened.
+func (p *Placer) Add(ep Endpoint) int {
+	s := &p.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.add(ep)
+}
+
+func (s *placerState) add(ep Endpoint) int {
+	if ep.Name == "" {
+		ep.Name = fmt.Sprintf("server-%d", len(s.eps))
+	}
+	s.eps = append(s.eps, &endpointState{ep: ep, up: true})
+	return len(s.eps) - 1
+}
+
+// Retire permanently excludes the endpoint from future picks. Its index
+// remains valid for stats and failure notes. Retiring twice is a no-op.
+func (p *Placer) Retire(idx int) {
+	s := &p.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idx >= 0 && idx < len(s.eps) && !s.eps[idx].retired {
+		s.eps[idx].retired = true
+		s.stats.retirements.Add(1)
+	}
+}
+
+// Len returns the total endpoint count, including retired slots.
+func (p *Placer) Len() int {
+	s := &p.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.eps)
+}
+
+// ActiveLen returns the number of non-retired endpoints.
+func (p *Placer) ActiveLen() int {
+	s := &p.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, st := range s.eps {
+		if !st.retired {
+			n++
+		}
+	}
+	return n
+}
+
+// Name returns the endpoint's name.
+func (p *Placer) Name(idx int) string {
+	s := &p.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eps[idx].ep.Name
+}
+
+// Pick selects the next endpoint for a session under the policy,
+// considering non-retired endpoints not in exclude. Marked-up endpoints
+// are preferred; if every candidate is marked down they are considered
+// anyway — a markdown is advisory and the alternative is refusing outright
+// on possibly stale probe data.
+func (p *Placer) Pick(spec JobSpec, exclude map[int]bool) (int, bool) {
+	s := &p.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pick(spec, exclude)
+}
+
+func (s *placerState) pick(spec JobSpec, exclude map[int]bool) (int, bool) {
+	candidate := func(i int, wantUp bool) bool {
+		return !exclude[i] && !s.eps[i].retired && s.eps[i].up == wantUp
+	}
+	for _, wantUp := range []bool{true, false} {
+		if idx, ok := s.pickAmong(spec, func(i int) bool { return candidate(i, wantUp) }); ok {
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// NotePlaced records a successful placement on the endpoint: the placement
+// counter increments and the endpoint's placed-since-probe guard grows so a
+// burst of placements between probes does not stampede the currently
+// least-loaded server.
+func (p *Placer) NotePlaced(idx int) {
+	s := &p.state
+	s.mu.Lock()
+	s.eps[idx].placed++
+	s.mu.Unlock()
+	s.stats.placements.Add(1)
+}
+
+// NoteSpill counts a placement that moved to the next-best endpoint after
+// an admission refusal.
+func (p *Placer) NoteSpill() { p.state.stats.spills.Add(1) }
+
+// NoteFailover counts a job replayed on another endpoint after its session
+// was lost mid-run.
+func (p *Placer) NoteFailover() { p.state.stats.failovers.Add(1) }
+
+// NoteFailure marks an endpoint down after a placement or session failure.
+func (p *Placer) NoteFailure(idx int, err error) {
+	s := &p.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.noteFailure(idx, err)
+}
+
+func (s *placerState) noteFailure(idx int, err error) {
+	st := s.eps[idx]
+	st.lastErr = err
+	if st.up {
+		st.up = false
+		s.stats.markdowns.Add(1)
+	}
+}
+
+// NoteProbe records one health-probe outcome: a successful probe replaces
+// the endpoint's load gauges, resets the placed-since-probe guard, and
+// marks the endpoint up; a failed probe marks it down. Markdown/markup
+// transitions accumulate in the flap counters.
+func (p *Placer) NoteProbe(idx int, load *protocol.StatsReply, err error) {
+	s := &p.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.noteProbe(idx, load, err)
+}
+
+func (s *placerState) noteProbe(idx int, load *protocol.StatsReply, err error) {
+	s.stats.probes.Add(1)
+	st := s.eps[idx]
+	if err != nil {
+		s.stats.probeFailures.Add(1)
+		s.noteFailure(idx, err)
+		return
+	}
+	st.load = load
+	st.placed = 0
+	st.lastErr = nil
+	if !st.up {
+		st.up = true
+		s.stats.markups.Add(1)
+	}
+}
+
+// Stats returns a snapshot of the placement and health counters.
+func (p *Placer) Stats() PoolStats {
+	c := &p.state.stats
+	return PoolStats{
+		Placements:    c.placements.Load(),
+		Spills:        c.spills.Load(),
+		Failovers:     c.failovers.Load(),
+		Probes:        c.probes.Load(),
+		ProbeFailures: c.probeFailures.Load(),
+		Markdowns:     c.markdowns.Load(),
+		Markups:       c.markups.Load(),
+		Retirements:   c.retirements.Load(),
+	}
+}
+
+// Endpoints reports every endpoint's health and last-probed load, in
+// registration order (retired slots included).
+func (p *Placer) Endpoints() []EndpointStatus {
+	s := &p.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]EndpointStatus, 0, len(s.eps))
+	for _, st := range s.eps {
+		es := EndpointStatus{
+			Name:             st.ep.Name,
+			Up:               st.up,
+			Retired:          st.retired,
+			Probed:           st.load != nil,
+			PlacedSinceProbe: st.placed,
+		}
+		if st.lastErr != nil {
+			es.LastErr = st.lastErr.Error()
+		}
+		if st.load != nil {
+			es.SessionsLive = st.load.SessionsLive
+			es.SessionsParked = st.load.SessionsParked
+			es.Devices = len(st.load.Devices)
+			for _, d := range st.load.Devices {
+				es.BytesInUse += d.BytesInUse
+				es.BusyNanos += d.BusyNanos
+			}
+		}
+		out = append(out, es)
+	}
+	return out
+}

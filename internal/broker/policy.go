@@ -104,30 +104,16 @@ func transferEstimate(st *endpointState, spec JobSpec) (time.Duration, bool) {
 	return 0, false
 }
 
-// pickLocked selects the next endpoint for a session under the pool's
-// policy, considering endpoints not in exclude. Marked-up endpoints are
-// preferred; if every candidate is marked down they are considered anyway —
-// a markdown is advisory and the alternative is refusing outright on
-// possibly stale probe data. The caller holds p.mu.
-func (p *Pool) pickLocked(spec JobSpec, exclude map[int]bool) (int, bool) {
-	candidate := func(i int, wantUp bool) bool {
-		return !exclude[i] && p.eps[i].up == wantUp
-	}
-	for _, wantUp := range []bool{true, false} {
-		if idx, ok := p.pickAmong(spec, func(i int) bool { return candidate(i, wantUp) }); ok {
-			return idx, true
-		}
-	}
-	return 0, false
-}
-
-func (p *Pool) pickAmong(spec JobSpec, candidate func(int) bool) (int, bool) {
-	switch p.policy {
+// pickAmong ranks the candidate endpoints under the policy. The caller
+// holds the placer mutex (see placerState.pick for the up/down preference
+// pass that drives the candidate predicate).
+func (s *placerState) pickAmong(spec JobSpec, candidate func(int) bool) (int, bool) {
+	switch s.policy {
 	case RoundRobin:
-		for k := 0; k < len(p.eps); k++ {
-			i := (p.rr + k) % len(p.eps)
+		for k := 0; k < len(s.eps); k++ {
+			i := (s.rr + k) % len(s.eps)
 			if candidate(i) {
-				p.rr = i + 1
+				s.rr = i + 1
 				return i, true
 			}
 		}
@@ -136,7 +122,7 @@ func (p *Pool) pickAmong(spec JobSpec, candidate func(int) bool) (int, bool) {
 		best, found := 0, false
 		var bestEst time.Duration
 		var bestHas bool
-		for i, st := range p.eps {
+		for i, st := range s.eps {
 			if !candidate(i) {
 				continue
 			}
@@ -150,7 +136,7 @@ func (p *Pool) pickAmong(spec JobSpec, candidate func(int) bool) (int, bool) {
 			case has && est != bestEst:
 				better = est < bestEst
 			default:
-				better = lighterLoad(st.loadKey(), p.eps[best].loadKey())
+				better = lighterLoad(st.loadKey(), s.eps[best].loadKey())
 			}
 			if better {
 				best, found, bestEst, bestHas = i, true, est, has
@@ -159,11 +145,11 @@ func (p *Pool) pickAmong(spec JobSpec, candidate func(int) bool) (int, bool) {
 		return best, found
 	default: // LeastLoaded
 		best, found := 0, false
-		for i, st := range p.eps {
+		for i, st := range s.eps {
 			if !candidate(i) {
 				continue
 			}
-			if !found || lighterLoad(st.loadKey(), p.eps[best].loadKey()) {
+			if !found || lighterLoad(st.loadKey(), s.eps[best].loadKey()) {
 				best, found = i, true
 			}
 		}

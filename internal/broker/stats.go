@@ -19,6 +19,9 @@ type PoolStats struct {
 	// is one markdown plus one markup.
 	Markdowns int64
 	Markups   int64
+	// Retirements counts endpoints permanently removed from placement by
+	// elastic scale-down.
+	Retirements int64
 }
 
 type poolCounters struct {
@@ -29,25 +32,19 @@ type poolCounters struct {
 	probeFailures atomic.Int64
 	markdowns     atomic.Int64
 	markups       atomic.Int64
+	retirements   atomic.Int64
 }
 
 // Stats returns a snapshot of the pool's counters.
-func (p *Pool) Stats() PoolStats {
-	return PoolStats{
-		Placements:    p.stats.placements.Load(),
-		Spills:        p.stats.spills.Load(),
-		Failovers:     p.stats.failovers.Load(),
-		Probes:        p.stats.probes.Load(),
-		ProbeFailures: p.stats.probeFailures.Load(),
-		Markdowns:     p.stats.markdowns.Load(),
-		Markups:       p.stats.markups.Load(),
-	}
-}
+func (p *Pool) Stats() PoolStats { return p.pl.Stats() }
 
 // EndpointStatus is the pool's current view of one endpoint.
 type EndpointStatus struct {
 	Name string
 	Up   bool
+	// Retired marks an endpoint removed from placement by scale-down; its
+	// slot is kept so indices stay stable.
+	Retired bool
 	// LastErr is the most recent probe or placement failure, empty when
 	// healthy.
 	LastErr string
@@ -66,30 +63,4 @@ type EndpointStatus struct {
 
 // Endpoints reports every endpoint's health and last-probed load, in
 // registration order.
-func (p *Pool) Endpoints() []EndpointStatus {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]EndpointStatus, 0, len(p.eps))
-	for _, st := range p.eps {
-		es := EndpointStatus{
-			Name:             st.ep.Name,
-			Up:               st.up,
-			Probed:           st.load != nil,
-			PlacedSinceProbe: st.placed,
-		}
-		if st.lastErr != nil {
-			es.LastErr = st.lastErr.Error()
-		}
-		if st.load != nil {
-			es.SessionsLive = st.load.SessionsLive
-			es.SessionsParked = st.load.SessionsParked
-			es.Devices = len(st.load.Devices)
-			for _, d := range st.load.Devices {
-				es.BytesInUse += d.BytesInUse
-				es.BusyNanos += d.BusyNanos
-			}
-		}
-		out = append(out, es)
-	}
-	return out
-}
+func (p *Pool) Endpoints() []EndpointStatus { return p.pl.Endpoints() }

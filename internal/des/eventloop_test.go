@@ -1,0 +1,73 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventLoopOrderAndTies(t *testing.T) {
+	l := NewEventLoop()
+	var order []int
+	l.At(3*time.Millisecond, func() { order = append(order, 3) })
+	l.At(time.Millisecond, func() { order = append(order, 1) })
+	// Two events at the same instant fire in schedule order.
+	l.At(2*time.Millisecond, func() { order = append(order, 20) })
+	l.At(2*time.Millisecond, func() { order = append(order, 21) })
+	end := l.Run()
+	want := []int{1, 20, 21, 3}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+	if end != 3*time.Millisecond {
+		t.Fatalf("final time %v, want 3ms", end)
+	}
+}
+
+func TestEventLoopNestedScheduling(t *testing.T) {
+	l := NewEventLoop()
+	var ticks []time.Duration
+	var tick func()
+	tick = func() {
+		ticks = append(ticks, l.Now())
+		if len(ticks) < 5 {
+			l.At(10*time.Millisecond, tick)
+		}
+	}
+	l.At(0, tick)
+	l.Run()
+	if len(ticks) != 5 || ticks[4] != 40*time.Millisecond {
+		t.Fatalf("ticks = %v", ticks)
+	}
+}
+
+func TestEventLoopStopResume(t *testing.T) {
+	l := NewEventLoop()
+	var fired int
+	l.At(time.Millisecond, func() { fired++; l.Stop() })
+	l.At(2*time.Millisecond, func() { fired++ })
+	l.Run()
+	if fired != 1 || l.Pending() != 1 {
+		t.Fatalf("after Stop: fired=%d pending=%d", fired, l.Pending())
+	}
+	l.Run()
+	if fired != 2 || l.Pending() != 0 {
+		t.Fatalf("after resume: fired=%d pending=%d", fired, l.Pending())
+	}
+}
+
+func TestEventLoopNegativeDelayClamps(t *testing.T) {
+	l := NewEventLoop()
+	var at time.Duration
+	l.At(time.Millisecond, func() {
+		l.At(-time.Second, func() { at = l.Now() })
+	})
+	l.Run()
+	if at != time.Millisecond {
+		t.Fatalf("clamped event fired at %v, want 1ms", at)
+	}
+}

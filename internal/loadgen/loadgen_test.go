@@ -1,0 +1,231 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"rcuda/internal/broker"
+	"rcuda/internal/faults"
+)
+
+func TestRunRejectsBadClasses(t *testing.T) {
+	if _, err := Run(Config{Classes: []Class{{Name: "x", Weight: 0, HoldMean: time.Millisecond}}}); err == nil {
+		t.Fatal("accepted a zero-weight class")
+	}
+	if _, err := Run(Config{Classes: []Class{{Name: "x", Weight: 1}}}); err == nil {
+		t.Fatal("accepted a zero-hold class")
+	}
+}
+
+func TestRunCompletesOfferedLoad(t *testing.T) {
+	r, err := Run(Config{Seed: 7, Sessions: 5_000, Rate: 5_000, InitialDaemons: 8, DaemonCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Placed < int64(r.Sessions) || r.Completed != int64(r.Sessions) {
+		t.Fatalf("placed %d / completed %d of %d sessions", r.Placed, r.Completed, r.Sessions)
+	}
+	if r.LostDurable != 0 || r.LostNonDurable != 0 || r.Unplaced != 0 {
+		t.Fatalf("clean run lost sessions: %+v", r)
+	}
+	if r.PlacedPerSec <= 0 || r.Elapsed <= 0 {
+		t.Fatalf("degenerate throughput: %+v", r)
+	}
+	if r.QueueWaitP99 < r.QueueWaitP50 || r.QueueWaitMax < r.QueueWaitP99 {
+		t.Fatalf("wait percentiles out of order: p50=%v p99=%v max=%v",
+			r.QueueWaitP50, r.QueueWaitP99, r.QueueWaitMax)
+	}
+	if len(r.Trajectory) == 0 {
+		t.Fatal("no trajectory samples")
+	}
+	if r.Pool.Probes == 0 {
+		t.Fatal("no probes recorded — gauges never refreshed")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed:     42,
+		Sessions: 20_000,
+		Arrival:  BurstyOnOff,
+		Rate:     10_000,
+		Classes: []Class{
+			{Name: "train", Weight: 1, HoldMean: 40 * time.Millisecond, Durable: true},
+			{Name: "infer", Weight: 3, HoldMean: 5 * time.Millisecond, Durable: false},
+		},
+		InitialDaemons: 2,
+		DaemonCapacity: 32,
+		Autoscale:      &broker.AutoscalerConfig{Min: 2, Max: 32, DaemonCapacity: 32, Cooldown: 200 * time.Millisecond},
+		FaultPlan:      faults.Seeded(99, faults.Config{ResetRate: 0.002, StallRate: 0.01, LatencyRate: 0.05}),
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fault plan is stateful; rebuild it for the second run.
+	cfg.FaultPlan = faults.Seeded(99, faults.Config{ResetRate: 0.002, StallRate: 0.01, LatencyRate: 0.05})
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identically-seeded runs diverged:\n%+v\n%+v", a, b)
+	}
+	// Byte-level reproducibility is what CI's freshness check relies on.
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatal("JSON encodings differ between identically-seeded runs")
+	}
+}
+
+func TestRunSeedChangesOutcome(t *testing.T) {
+	base := Config{Sessions: 2_000, Rate: 4_000, InitialDaemons: 2, DaemonCapacity: 16}
+	a, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Seed = 1
+	b, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed == b.Elapsed && a.QueueWaitMax == b.QueueWaitMax {
+		t.Fatal("different seeds produced an identical timeline")
+	}
+}
+
+func TestHundredThousandSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1e5-session run skipped in -short mode")
+	}
+	r, err := Run(Config{
+		Seed:           1,
+		Sessions:       100_000,
+		Rate:           20_000,
+		InitialDaemons: 4,
+		DaemonCapacity: 64,
+		Autoscale:      &broker.AutoscalerConfig{Min: 4, Max: 64, DaemonCapacity: 64, Cooldown: 250 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed != 100_000 || r.LostDurable != 0 {
+		t.Fatalf("completed %d, lost durable %d", r.Completed, r.LostDurable)
+	}
+	if r.Autoscaler.ScaleUps == 0 {
+		t.Fatalf("fleet never grew under 20k/s offered load: %+v", r.Autoscaler)
+	}
+	if r.PeakDaemons <= 4 {
+		t.Fatalf("peak fleet %d never exceeded the initial 4", r.PeakDaemons)
+	}
+}
+
+func TestAutoscaleGrowsAndShrinks(t *testing.T) {
+	r, err := Run(Config{
+		Seed:           3,
+		Sessions:       30_000,
+		Rate:           10_000,
+		Classes:        []Class{{Name: "d", Weight: 1, HoldMean: 80 * time.Millisecond, Durable: true}},
+		InitialDaemons: 2,
+		DaemonCapacity: 32,
+		Autoscale: &broker.AutoscalerConfig{
+			Min: 2, Max: 48, DaemonCapacity: 32, Cooldown: 150 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed != int64(r.Sessions) {
+		t.Fatalf("completed %d of %d", r.Completed, r.Sessions)
+	}
+	// ~10k/s × 80ms ≈ 800 concurrent sessions needs ~25+ daemons of 32.
+	if r.PeakDaemons < 10 {
+		t.Fatalf("peak fleet %d implausibly small for the offered load", r.PeakDaemons)
+	}
+	// As the tail drains the controller hands daemons back.
+	if r.Autoscaler.ScaleDowns == 0 || r.Pool.Retirements == 0 {
+		t.Fatalf("fleet never shrank: %+v %+v", r.Autoscaler, r.Pool)
+	}
+	if r.DaemonsFinal >= r.PeakDaemons {
+		t.Fatalf("final fleet %d did not settle below peak %d", r.DaemonsFinal, r.PeakDaemons)
+	}
+}
+
+// TestChaosScaleDownStrandsNothing is the acceptance chaos test: daemons
+// are killed by an injected fault plan while the autoscaler is actively
+// growing and shrinking the fleet, and not one durable session may be
+// lost — kills fail them over, and scale-down only retires empty daemons.
+func TestChaosScaleDownStrandsNothing(t *testing.T) {
+	r, err := Run(Config{
+		Seed:     11,
+		Sessions: 20_000,
+		Arrival:  BurstyOnOff,
+		Rate:     8_000,
+		Classes: []Class{
+			{Name: "durable", Weight: 3, HoldMean: 60 * time.Millisecond, Durable: true},
+			{Name: "besteffort", Weight: 1, HoldMean: 20 * time.Millisecond, Durable: false},
+		},
+		InitialDaemons: 4,
+		DaemonCapacity: 32,
+		Autoscale: &broker.AutoscalerConfig{
+			Min: 2, Max: 48, DaemonCapacity: 32, Cooldown: 150 * time.Millisecond,
+		},
+		FaultPlan: faults.Seeded(5, faults.Config{ResetRate: 0.01, StallRate: 0.02}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Faults == 0 || r.Pool.Failovers == 0 {
+		t.Fatalf("chaos never bit: faults=%d failovers=%d", r.Faults, r.Pool.Failovers)
+	}
+	if r.LostDurable != 0 {
+		t.Fatalf("%d durable sessions lost", r.LostDurable)
+	}
+	// Every durable session completed despite kills; only non-durable ones
+	// may have died with their daemons.
+	var durableOffered int64
+	for _, c := range r.Classes {
+		if c.Durable {
+			durableOffered += int64(c.Sessions)
+		}
+	}
+	if got := r.Completed + r.LostNonDurable + int64(r.Unplaced); got != int64(r.Sessions) {
+		t.Fatalf("session accounting leaks: completed %d + lost %d + unplaced %d != %d",
+			r.Completed, r.LostNonDurable, r.Unplaced, r.Sessions)
+	}
+	if r.Completed < durableOffered {
+		t.Fatalf("completed %d < durable offered %d", r.Completed, durableOffered)
+	}
+	if r.Pool.Markdowns == 0 || r.Pool.Markups == 0 {
+		t.Fatalf("stalls never flapped health: %+v", r.Pool)
+	}
+}
+
+func TestMaxDurationBoundsOverload(t *testing.T) {
+	// One daemon, no autoscaler, offered load far beyond capacity: the
+	// virtual clock must stop at MaxDuration with the backlog reported.
+	r, err := Run(Config{
+		Seed:           2,
+		Sessions:       5_000,
+		Rate:           50_000,
+		Classes:        []Class{{Name: "slow", Weight: 1, HoldMean: time.Second, Durable: true}},
+		InitialDaemons: 1,
+		DaemonCapacity: 8,
+		MaxDuration:    2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Elapsed > 2*time.Second {
+		t.Fatalf("clock ran past MaxDuration: %v", r.Elapsed)
+	}
+	if r.Unplaced == 0 {
+		t.Fatal("overloaded run reported no backlog")
+	}
+	if r.Pool.Spills == 0 {
+		t.Fatal("saturated daemon never spilled")
+	}
+}

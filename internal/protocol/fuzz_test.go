@@ -215,6 +215,33 @@ func FuzzDecodeBatch(f *testing.F) {
 	})
 }
 
+// FuzzTryDecodeStatsQuery covers the probe handshake's first-payload
+// sniffing: exactly one 4-byte spelling of the op is a stats query, and
+// the decision must agree with the general request decoder.
+func FuzzTryDecodeStatsQuery(f *testing.F) {
+	f.Add((&StatsQueryRequest{}).Encode(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add((&SyncRequest{}).Encode(nil))
+	f.Add(append((&StatsQueryRequest{}).Encode(nil), 0)) // trailing byte
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		q, ok := TryDecodeStatsQuery(raw)
+		if ok != (q != nil) {
+			t.Fatalf("ok=%v but query=%v", ok, q)
+		}
+		want := len(raw) == 4 && Op(getU32(raw, 0)) == OpStatsQuery
+		if ok != want {
+			t.Fatalf("TryDecodeStatsQuery=%v on %x, want %v", ok, raw, want)
+		}
+		if ok {
+			if enc := q.Encode(nil); !bytes.Equal(enc, raw) {
+				t.Fatalf("query re-encode mismatch: %x vs %x", enc, raw)
+			}
+		}
+	})
+}
+
 // FuzzDecodeInitRequest covers the positional initialization message.
 func FuzzDecodeInitRequest(f *testing.F) {
 	f.Add((&InitRequest{Module: []byte("module")}).Encode(nil))

@@ -143,15 +143,26 @@ func TestTryDecodeStatsQueryRejectsOtherOpenings(t *testing.T) {
 	}
 }
 
-// FuzzDecodeStatsReply feeds arbitrary bytes to the reply decoder: never a
-// panic, never an absurd allocation, and every accepted payload re-encodes
-// canonically.
+// FuzzDecodeStatsReply feeds arbitrary bytes to the reply decoder the
+// broker's health loop trusts: never a panic, never an absurd allocation
+// from a corrupt device count, and every accepted payload re-encodes
+// canonically with a WireSize matching the bytes accepted.
 func FuzzDecodeStatsReply(f *testing.F) {
 	for _, resp := range statsReplySeeds() {
 		full := resp.Encode(nil)
 		f.Add(full)
 		f.Add(full[:len(full)/2])
+		if len(full) > 16 {
+			f.Add(full[:len(full)-1]) // truncated mid-device
+			f.Add(full[:17])          // cut inside the first device record
+		}
 	}
+	huge := (&StatsReply{}).Encode(nil)
+	huge[12], huge[13] = 0xff, 0xff // declares 65535 devices with no payload
+	f.Add(huge)
+	pastCap := (&StatsReply{Devices: make([]DeviceStats, 4)}).Encode(nil)
+	putU32(pastCap[:12], MaxStatsDevices+1) // device count past the cap
+	f.Add(pastCap)
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, raw []byte) {
@@ -161,6 +172,12 @@ func FuzzDecodeStatsReply(f *testing.F) {
 		}
 		if m == nil {
 			t.Fatal("nil reply with nil error")
+		}
+		if len(m.Devices) > MaxStatsDevices {
+			t.Fatalf("decoder accepted %d devices (max %d)", len(m.Devices), MaxStatsDevices)
+		}
+		if m.WireSize() != len(raw) {
+			t.Fatalf("WireSize %d != accepted payload %d", m.WireSize(), len(raw))
 		}
 		if !bytes.Equal(m.Encode(nil), raw) {
 			t.Fatalf("re-encode mismatch on %x", raw)

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewDurationHistogram()
+	if h.N() != 0 || h.Percentile(99) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram: n=%d p99=%v mean=%v max=%v", h.N(), h.Percentile(99), h.Mean(), h.Max())
+	}
+}
+
+func TestHistogramZeros(t *testing.T) {
+	h := NewDurationHistogram()
+	for i := 0; i < 100; i++ {
+		h.Record(0)
+	}
+	h.Record(time.Millisecond)
+	if got := h.Percentile(50); got != 0 {
+		t.Fatalf("p50 of mostly-zero sample = %v, want 0", got)
+	}
+	if got := h.Percentile(100); got != time.Millisecond {
+		t.Fatalf("p100 = %v, want 1ms (exact max)", got)
+	}
+}
+
+// TestHistogramPercentileAccuracy checks the quantized percentile against
+// the exact one on a heavy-tailed sample: error must stay within one bucket
+// (under ~19%, one growth step).
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewDurationHistogram()
+	var xs []time.Duration
+	for i := 0; i < 50000; i++ {
+		d := time.Duration(rng.ExpFloat64() * float64(3*time.Millisecond))
+		xs = append(xs, d)
+		h.Record(d)
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		rank := int(p/100*float64(len(xs))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		exact := xs[rank]
+		got := h.Percentile(p)
+		ratio := float64(got) / float64(exact)
+		if ratio < 0.95 || ratio > 1.25 {
+			t.Fatalf("p%.1f = %v vs exact %v (ratio %.3f)", p, got, exact, ratio)
+		}
+	}
+	if h.Max() != xs[len(xs)-1] {
+		t.Fatalf("max %v, want %v", h.Max(), xs[len(xs)-1])
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewDurationHistogram()
+	// Durations exactly on bucket bounds must land deterministically; the
+	// recorded percentile of a single sample is at most one bucket above it.
+	for _, d := range []time.Duration{time.Microsecond, 2 * time.Microsecond, time.Second} {
+		h := NewDurationHistogram()
+		h.Record(d)
+		got := h.Percentile(100)
+		if got < d || float64(got) > float64(d)*1.2 {
+			t.Fatalf("single sample %v reported as %v", d, got)
+		}
+	}
+	_ = h
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b, both := NewDurationHistogram(), NewDurationHistogram(), NewDurationHistogram()
+	for i := 1; i <= 1000; i++ {
+		d := time.Duration(i) * 10 * time.Microsecond
+		both.Record(d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	a.Merge(b)
+	if a.N() != both.N() || a.Max() != both.Max() {
+		t.Fatalf("merged n=%d max=%v, want n=%d max=%v", a.N(), a.Max(), both.N(), both.Max())
+	}
+	for _, p := range []float64{50, 99} {
+		if a.Percentile(p) != both.Percentile(p) {
+			t.Fatalf("p%.0f merged %v != direct %v", p, a.Percentile(p), both.Percentile(p))
+		}
+	}
+}
+
+func TestHistogramMeanExact(t *testing.T) {
+	h := NewDurationHistogram()
+	h.Record(time.Millisecond)
+	h.Record(3 * time.Millisecond)
+	if got := h.Mean(); got != 2*time.Millisecond {
+		t.Fatalf("mean = %v, want 2ms", got)
+	}
+}
