@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify lint chaos soak bench bench-batch bench-scale bench-scale-smoke fuzz pool repro figures experiments clean help
+.PHONY: all build test race verify lint vet chaos soak bench bench-batch bench-scale bench-scale-smoke fuzz pool repro figures experiments clean help
 
 all: build test
 
@@ -13,7 +13,8 @@ help:
 	@echo "  test         run all tests"
 	@echo "  race         run all tests under the race detector"
 	@echo "  verify       tier-1 gate: build + test + race on data path + chaos suite"
-	@echo "  lint         vet plus gofmt diff check"
+	@echo "  lint         go vet + rcuda-vet invariant analyzers + gofmt diff check"
+	@echo "  vet          rcuda-vet only: seededrand/wiremsg/locknet/errcode invariants"
 	@echo "  chaos        fault-injection suite (scripted + 50 seeded plans) under -race"
 	@echo "  soak         10k mixed ops at ~1% fault rate, leak-checked, under -race"
 	@echo "  bench        run all benchmarks"
@@ -37,17 +38,25 @@ test:
 race:
 	$(GO) test -race -count=1 ./...
 
-# Lint: vet plus a gofmt cleanliness check (stdlib tooling only).
-lint:
+# Lint: go vet, the repo's own invariant analyzers, and a gofmt
+# cleanliness check (stdlib tooling only).
+lint: vet
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 
-# Tier-1 verification: full build + tests, the concurrent data-path packages
-# (transport framing, middleware streaming + batching, pool broker + its
-# autoscaler, the scale harness, the full-stack workloads) under the race
-# detector, and the deterministic fault-injection suite.
-verify: build test chaos
+# rcuda-vet: the custom static-analysis suite (DESIGN.md section 13).
+# Nonzero exit on any determinism, wire-protocol, or lock-discipline
+# violation; there is no suppression mechanism — fix the code.
+vet:
+	$(GO) run ./cmd/rcuda-vet ./...
+
+# Tier-1 verification: full build + tests, the invariant analyzers, the
+# concurrent data-path packages (transport framing, middleware streaming +
+# batching, pool broker + its autoscaler, the scale harness, the full-stack
+# workloads) under the race detector, and the deterministic fault-injection
+# suite.
+verify: build test vet chaos
 	$(GO) test -race ./internal/transport/... ./internal/rcuda/... ./internal/broker/... ./internal/loadgen/... ./internal/workload/...
 
 # Chaos suite: every fault kind's transport semantics, the retry policy, and

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if c := run([]string{"-list"}, &out, &errb); c != 0 {
+		t.Fatalf("-list exit = %d, want 0 (stderr: %s)", c, errb.String())
+	}
+	for _, name := range []string{"seededrand", "wiremsg", "locknet", "errcode"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if c := run([]string{"-C", "../..", "./internal/vclock"}, &out, &errb); c != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", c, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run printed findings:\n%s", out.String())
+	}
+}
+
+func TestLoadErrorExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if c := run([]string{"-C", "../..", "./does-not-exist"}, &out, &errb); c != 2 {
+		t.Fatalf("bad pattern exit = %d, want 2", c)
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if c := run([]string{"-no-such-flag"}, &out, &errb); c != 2 {
+		t.Fatalf("bad flag exit = %d, want 2", c)
+	}
+}

@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ErrCodeConfig selects the protocol and client packages for the errcode
+// analyzer.
+type ErrCodeConfig struct {
+	// ProtocolPackage (path or suffix) declares the rejection code
+	// constants: exported untyped/uint32 constants named Code*.
+	ProtocolPackage string
+	// ClientPackage (path or suffix) must classify every code: compare it
+	// somewhere, and map the match to a typed sentinel error (a
+	// package-level `var Err... = errors.New(...)`).
+	ClientPackage string
+}
+
+// DefaultErrCodeConfig targets the repo's protocol and client packages.
+func DefaultErrCodeConfig() ErrCodeConfig {
+	return ErrCodeConfig{ProtocolPackage: "internal/protocol", ClientPackage: "internal/rcuda"}
+}
+
+// errcodeName tags this analyzer's diagnostics.
+const errcodeName = "errcode"
+
+// ErrCode returns the errcode analyzer: every protocol.Code* rejection
+// constant must be handled by the client's code classification — compared
+// in an if or switch whose matching branch surfaces a typed Err* sentinel.
+// A server that learns a new way to say no must come with a client that
+// understands the answer.
+func ErrCode(cfg ErrCodeConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "errcode",
+		Doc:  "every protocol.Code* rejection constant maps to a typed client error",
+	}
+	a.Run = func(u *Unit) []Diagnostic {
+		var proto, client *Package
+		for _, pkg := range u.Pkgs {
+			if pathMatches(pkg.ImportPath, cfg.ProtocolPackage) {
+				proto = pkg
+			}
+			if pathMatches(pkg.ImportPath, cfg.ClientPackage) {
+				client = pkg
+			}
+		}
+		if proto == nil || client == nil {
+			return nil
+		}
+		return errCodeCheck(u, proto, client)
+	}
+	return a
+}
+
+func errCodeCheck(u *Unit, proto, client *Package) []Diagnostic {
+	// The rejection constants, by (package path, name) so objects resolve
+	// across the export-data / source boundary.
+	codes := make(map[string]*types.Const)
+	scope := proto.Types.Scope()
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && c.Exported() && strings.HasPrefix(name, "Code") {
+			codes[name] = c
+		}
+	}
+	if len(codes) == 0 {
+		return nil
+	}
+
+	compared := make(map[string]bool) // code name -> seen in a comparison
+	mapped := make(map[string]bool)   // code name -> comparison branch surfaces a typed error
+
+	// resolveCode returns the Code* constant name behind an expression, if
+	// any. The client sees the constants through export data, so match by
+	// package path + name rather than object identity.
+	resolveCode := func(e ast.Expr) string {
+		var obj types.Object
+		switch e := e.(type) {
+		case *ast.Ident:
+			obj = client.Info.Uses[e]
+		case *ast.SelectorExpr:
+			obj = client.Info.Uses[e.Sel]
+		}
+		c, ok := obj.(*types.Const)
+		if !ok || c.Pkg() == nil || c.Pkg().Path() != proto.ImportPath {
+			return ""
+		}
+		if _, isCode := codes[c.Name()]; !isCode {
+			return ""
+		}
+		return c.Name()
+	}
+
+	// branchHasTypedError reports whether the branch references a
+	// package-level error sentinel of the client package (an Err* var of
+	// type error).
+	branchHasTypedError := func(stmts []ast.Stmt) bool {
+		found := false
+		for _, s := range stmts {
+			ast.Inspect(s, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || found {
+					return !found
+				}
+				v, ok := client.Info.Uses[id].(*types.Var)
+				if ok && v.Pkg() == client.Types && v.Parent() == client.Types.Scope() &&
+					strings.HasPrefix(v.Name(), "Err") && types.Identical(v.Type(), errorType) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return found
+	}
+
+	// note records one comparison of a code constant and whether its
+	// controlled branch maps to a typed error.
+	note := func(name string, branch []ast.Stmt) {
+		compared[name] = true
+		if branch != nil && branchHasTypedError(branch) {
+			mapped[name] = true
+		}
+	}
+
+	for _, file := range client.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IfStmt:
+				for _, name := range comparisonCodes(n.Cond, resolveCode) {
+					note(name, n.Body.List)
+				}
+			case *ast.SwitchStmt:
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if n.Tag != nil {
+							// Tagged switch: the case expression itself may
+							// be the constant.
+							if name := resolveCode(e); name != "" {
+								note(name, cc.Body)
+								continue
+							}
+						}
+						for _, name := range comparisonCodes(e, resolveCode) {
+							note(name, cc.Body)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	var names []string
+	for name := range codes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var ds []Diagnostic
+	for _, name := range names {
+		switch {
+		case !compared[name]:
+			ds = append(ds, u.diag(errcodeName, codes[name].Pos(),
+				"%s.%s is never classified by package %s; a client cannot distinguish this rejection",
+				proto.Types.Name(), name, client.Types.Name()))
+		case !mapped[name]:
+			ds = append(ds, u.diag(errcodeName, codes[name].Pos(),
+				"%s.%s is compared by package %s but no branch maps it to a typed Err* sentinel",
+				proto.Types.Name(), name, client.Types.Name()))
+		}
+	}
+	return ds
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// comparisonCodes extracts the Code* constant names compared for equality
+// (or inequality) anywhere in a boolean expression.
+func comparisonCodes(e ast.Expr, resolve func(ast.Expr) string) []string {
+	var out []string
+	ast.Inspect(e, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		if b.Op == token.EQL || b.Op == token.NEQ {
+			if name := resolve(b.X); name != "" {
+				out = append(out, name)
+			}
+			if name := resolve(b.Y); name != "" {
+				out = append(out, name)
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,16 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// moduleRoot locates the repository root (two levels above this package).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}

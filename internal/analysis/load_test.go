@@ -1,0 +1,23 @@
+package analysis
+
+import "testing"
+
+// TestLoadProtocol smoke-tests the go list + export-data loading path on a
+// real package with both stdlib and intra-module dependencies.
+func TestLoadProtocol(t *testing.T) {
+	u, err := Load(moduleRoot(t), "./internal/protocol", "./internal/broker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(u.Pkgs))
+	}
+	for _, p := range u.Pkgs {
+		if len(p.Files) == 0 || p.Types == nil {
+			t.Fatalf("%s loaded without files or types", p.ImportPath)
+		}
+	}
+	if got := u.Pkgs[0].Types.Name(); got != "protocol" {
+		t.Fatalf("first package is %q, want protocol", got)
+	}
+}

@@ -1,0 +1,26 @@
+// Package client is the errcode fixture: it classifies some of proto's
+// rejection codes but deliberately not all — the gaps are flagged at the
+// constant declarations in package proto.
+package client
+
+import (
+	"errors"
+
+	"fixture/proto"
+)
+
+// ErrBusy is the typed form of proto.CodeBusy.
+var ErrBusy = errors.New("client: server busy")
+
+// Classify maps a rejection code to a typed error. CodeBusy maps to the
+// ErrBusy sentinel; CodeLost is compared but only wrapped in an ad-hoc
+// error; CodeIgnored is never looked at.
+func Classify(code uint32) error {
+	if code == proto.CodeBusy {
+		return ErrBusy
+	}
+	if code == proto.CodeLost {
+		return errors.New("client: session lost")
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+// Package det is a seededrand fixture: a nominally deterministic package
+// with deliberate violations, each marked by a want comment.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad draws from the global generator and reads the wall clock.
+func Bad() int {
+	n := rand.Intn(10) // want seededrand "global rand.Intn"
+	t0 := time.Now()   // want seededrand "wall-clock time.Now"
+	_ = time.Since(t0) // want seededrand "wall-clock time.Since"
+	return n
+}
+
+// Good draws from an explicitly seeded generator; time.Sleep is allowed
+// because it never feeds a nondeterministic value into a result.
+func Good(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	time.Sleep(time.Millisecond)
+	return r.Intn(10)
+}
+
+// Wall is the package's sanctioned wall-clock bridge.
+type Wall struct{ start time.Time }
+
+// NewWall is the bridge constructor and may read the wall clock.
+func NewWall() *Wall { return &Wall{start: time.Now()} }
+
+// Elapsed is a bridge method and may read the wall clock.
+func (w *Wall) Elapsed() time.Duration { return time.Since(w.start) }

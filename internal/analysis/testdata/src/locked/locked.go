@@ -1,0 +1,84 @@
+// Package locked is the locknet fixture: critical sections that perform
+// blocking wire I/O, each violation marked by a want comment, plus clean
+// shapes that must not be flagged.
+package locked
+
+import (
+	"sync"
+	"time"
+
+	"fixture/transport"
+)
+
+type pool struct {
+	mu   sync.Mutex
+	conn transport.Conn
+	dial func() (transport.Conn, error)
+}
+
+// BadSend sends on the wire while holding the mutex.
+func (p *pool) BadSend() {
+	p.mu.Lock()
+	_ = p.conn.Send(nil) // want locknet "blocking transport.Conn.Send while p.mu is held"
+	p.mu.Unlock()
+}
+
+// BadDefer holds the mutex via defer across a receive.
+func (p *pool) BadDefer() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn.Recv() // want locknet "blocking transport.Conn.Recv while p.mu is held"
+}
+
+// probe is a helper that blocks on the wire; callers must not hold locks.
+func (p *pool) probe() {
+	_, _ = p.conn.Recv()
+}
+
+// BadTransitive reaches the wire through a helper call under the mutex.
+func (p *pool) BadTransitive() {
+	p.mu.Lock()
+	p.probe() // want locknet "call to fixture/locked.pool.probe blocks on transport.Conn.Recv while p.mu is held"
+	p.mu.Unlock()
+}
+
+// BadDial invokes the endpoint dial hook while holding the mutex.
+func (p *pool) BadDial() {
+	p.mu.Lock()
+	c, err := p.dial() // want locknet "dial function returning fixture/transport.Conn while p.mu is held"
+	if err == nil {
+		p.conn = c
+	}
+	p.mu.Unlock()
+}
+
+// BadSleep sleeps inside the critical section.
+func (p *pool) BadSleep() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	time.Sleep(time.Millisecond) // want locknet "blocking time.Sleep while p.mu is held"
+}
+
+// GoodUnlockFirst snapshots state under the mutex and performs the wire
+// exchange after releasing it — the pattern the analyzer demands.
+func (p *pool) GoodUnlockFirst() {
+	p.mu.Lock()
+	conn := p.conn
+	p.mu.Unlock()
+	_ = conn.Send(nil)
+}
+
+// GoodAsync starts the wire work on another goroutine; the closure body
+// does not run under this function's critical section.
+func (p *pool) GoodAsync() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() { _, _ = p.conn.Recv() }()
+}
+
+// GoodClose may close under the mutex: Close never waits for the peer.
+func (p *pool) GoodClose() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_ = p.conn.Close()
+}

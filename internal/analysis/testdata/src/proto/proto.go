@@ -1,0 +1,121 @@
+// Package proto is the wiremsg and errcode fixture: a miniature wire
+// protocol with deliberate gaps, each marked by a want comment.
+package proto
+
+import "errors"
+
+// Op identifies a request on the wire.
+type Op uint8
+
+// Declared operation codes. OpBoot is exempt in the fixture configuration
+// (positional, never carries an op byte); OpGap and OpNoName carry
+// deliberate gaps.
+const (
+	OpPing   Op = iota + 1
+	OpGap       // want wiremsg "op OpGap is declared but never dispatched"
+	OpNoName    // want wiremsg "op OpNoName has no Op.String name"
+	OpBoot
+)
+
+// String names ops for logs; OpNoName is deliberately missing.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "Ping"
+	case OpGap:
+		return "Gap"
+	case OpBoot:
+		return "Boot"
+	}
+	return "Op(?)"
+}
+
+// Rejection codes carried in reply frames.
+const (
+	// CodeBusy is classified by the fixture client and mapped to ErrBusy.
+	CodeBusy uint32 = 1001
+	// CodeLost is compared by the client but mapped to no sentinel.
+	CodeLost uint32 = 1002 // want errcode "no branch maps it to a typed Err"
+	// CodeIgnored is never classified at all.
+	CodeIgnored uint32 = 1003 // want errcode "never classified"
+)
+
+// Message is one wire message: encodable with a declared size.
+type Message interface {
+	Encode(dst []byte) []byte
+	WireSize() int
+}
+
+// Request is a client-to-server message.
+type Request interface {
+	Message
+	Op() Op
+}
+
+// PingRequest is fully wired: dispatched, decodable, sized.
+type PingRequest struct{}
+
+func (r *PingRequest) Encode(dst []byte) []byte { return append(dst, byte(OpPing)) }
+func (r *PingRequest) WireSize() int            { return 1 }
+func (r *PingRequest) Op() Op                   { return OpPing }
+
+// NoNameRequest is the OpNoName request; the op lacks only a String name.
+type NoNameRequest struct{}
+
+func (r *NoNameRequest) Encode(dst []byte) []byte { return append(dst, byte(OpNoName)) }
+func (r *NoNameRequest) WireSize() int            { return 1 }
+func (r *NoNameRequest) Op() Op                   { return OpNoName }
+
+// OrphanRequest has an encoder but the decode chain never builds one.
+type OrphanRequest struct{} // want wiremsg "DecodeRequest chain never constructs it"
+
+func (r *OrphanRequest) Encode(dst []byte) []byte { return append(dst, byte(OpGap)) }
+func (r *OrphanRequest) WireSize() int            { return 1 }
+func (r *OrphanRequest) Op() Op                   { return OpGap }
+
+// PongReply is a fully wired response.
+type PongReply struct{ N uint32 }
+
+func (r *PongReply) Encode(dst []byte) []byte { return append(dst, byte(r.N)) }
+func (r *PongReply) WireSize() int            { return 1 }
+
+// DecodePongReply parses a PongReply frame.
+func DecodePongReply(b []byte) (*PongReply, error) {
+	if len(b) != 1 {
+		return nil, errors.New("proto: bad PongReply")
+	}
+	return &PongReply{N: uint32(b[0])}, nil
+}
+
+// LostReply has an encoder but no decoder at all.
+type LostReply struct{} // want wiremsg "no DecodeLostReply/TryDecodeLostReply function"
+
+func (r *LostReply) Encode(dst []byte) []byte { return dst }
+func (r *LostReply) WireSize() int            { return 0 }
+
+// NakedMsg encodes but never declares its wire size.
+type NakedMsg struct{} // want wiremsg "Encode method but no WireSize"
+
+func (m *NakedMsg) Encode(dst []byte) []byte { return dst }
+
+// DecodeRequest parses one request frame: the op byte selects the type.
+func DecodeRequest(b []byte) (Request, error) {
+	if len(b) == 0 {
+		return nil, errors.New("proto: empty frame")
+	}
+	op := Op(b[0])
+	switch op {
+	case OpPing:
+		return &PingRequest{}, nil
+	}
+	return decodeMore(op, b)
+}
+
+// decodeMore extends the dispatch for later protocol revisions, so the
+// analyzer must follow same-package static calls.
+func decodeMore(op Op, b []byte) (Request, error) {
+	if op != OpNoName {
+		return nil, errors.New("proto: unknown op " + op.String())
+	}
+	return &NoNameRequest{}, nil
+}

@@ -1,0 +1,11 @@
+// Package transport is the fixture stand-in for the real transport
+// package: it declares the connection interface whose Send/Recv methods
+// the locknet analyzer treats as blocking.
+package transport
+
+// Conn is a blocking wire connection.
+type Conn interface {
+	Send(b []byte) error
+	Recv() ([]byte, error)
+	Close() error
+}

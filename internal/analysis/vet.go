@@ -1,0 +1,46 @@
+package analysis
+
+// Config bundles every analyzer's configuration; the zero value is not
+// useful — start from DefaultConfig.
+type Config struct {
+	SeededRand SeededRandConfig
+	WireMsg    WireMsgConfig
+	LockNet    LockNetConfig
+	ErrCode    ErrCodeConfig
+}
+
+// DefaultConfig returns the repo's enforced-invariant configuration.
+func DefaultConfig() Config {
+	return Config{
+		SeededRand: DefaultSeededRandConfig(),
+		WireMsg:    DefaultWireMsgConfig(),
+		LockNet:    DefaultLockNetConfig(),
+		ErrCode:    DefaultErrCodeConfig(),
+	}
+}
+
+// Analyzers instantiates the full suite under cfg, in stable order.
+func Analyzers(cfg Config) []*Analyzer {
+	return []*Analyzer{
+		SeededRand(cfg.SeededRand),
+		WireMsg(cfg.WireMsg),
+		LockNet(cfg.LockNet),
+		ErrCode(cfg.ErrCode),
+	}
+}
+
+// Vet loads patterns rooted at dir and runs the analyzers, returning the
+// sorted findings. It is the programmatic form of `rcuda-vet ./...`; the
+// command and the repo-wide cleanliness test share it.
+func Vet(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	u, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var ds []Diagnostic
+	for _, a := range analyzers {
+		ds = append(ds, a.Run(u)...)
+	}
+	SortDiagnostics(ds)
+	return ds, nil
+}

@@ -1,0 +1,17 @@
+package analysis
+
+import "testing"
+
+// TestVetClean is the repo-wide gate: the default analyzer suite must
+// report zero findings over the whole module. A failure here means a
+// determinism, wire-protocol, or lock-discipline invariant regressed; fix
+// the code — there is no suppression mechanism.
+func TestVetClean(t *testing.T) {
+	ds, err := Vet(moduleRoot(t), []string{"./..."}, Analyzers(DefaultConfig()))
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, d := range ds {
+		t.Errorf("%s", d.String())
+	}
+}

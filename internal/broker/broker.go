@@ -20,6 +20,7 @@ package broker
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"rcuda/internal/calib"
@@ -62,8 +63,63 @@ type endpointState struct {
 	// so a burst of placements between probes does not stampede the
 	// currently least-loaded server.
 	placed int64
-	// probeConn is the persistent health-probe connection (Pool only).
+	// probeMu guards the persistent probe-connection slot (Pool only). It
+	// is held only while checking the connection in or out of the slot —
+	// never across the wire exchange itself, so one endpoint stalled on
+	// the network cannot stall placements behind the placer mutex
+	// (enforced by rcuda-vet's locknet analyzer).
+	probeMu sync.Mutex
+	// probeConn is the persistent health-probe connection.
 	probeConn transport.Conn
+	// probeStopped permanently shuts the probe slot: the endpoint was
+	// retired or the pool closed, so returned connections are refused and
+	// closed instead of parked.
+	probeStopped bool
+}
+
+// checkoutProbeConn takes the endpoint's persistent probe connection out
+// of its slot, dialing a fresh one when the slot is empty. The caller owns
+// the returned connection until it calls returnProbeConn or closes it.
+func (st *endpointState) checkoutProbeConn() (transport.Conn, error) {
+	st.probeMu.Lock()
+	conn := st.probeConn
+	st.probeConn = nil
+	st.probeMu.Unlock()
+	if conn != nil {
+		return conn, nil
+	}
+	dial := st.ep.ProbeDial
+	if dial == nil {
+		dial = st.ep.Dial
+	}
+	return dial()
+}
+
+// returnProbeConn parks a healthy connection back in the slot. The loser
+// of a return race — or a return after the slot was stopped — closes its
+// connection instead.
+func (st *endpointState) returnProbeConn(conn transport.Conn) {
+	st.probeMu.Lock()
+	if !st.probeStopped && st.probeConn == nil {
+		st.probeConn = conn
+		conn = nil
+	}
+	st.probeMu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// closeProbeConn permanently shuts the endpoint's probe slot.
+func (st *endpointState) closeProbeConn() {
+	st.probeMu.Lock()
+	st.probeStopped = true
+	conn := st.probeConn
+	st.probeConn = nil
+	st.probeMu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
 }
 
 // JobSpec declares what a session is going to do, as far as the placement
@@ -156,13 +212,9 @@ func (p *Pool) RetireEndpoint(idx int) {
 		return
 	}
 	st := s.eps[idx]
-	conn := st.probeConn
-	st.probeConn = nil
 	s.mu.Unlock()
 	p.pl.Retire(idx)
-	if conn != nil {
-		_ = conn.Close()
-	}
+	st.closeProbeConn()
 }
 
 // Close stops the background prober and closes every probe connection.
@@ -175,12 +227,10 @@ func (p *Pool) Close() error {
 	}
 	s := &p.pl.state
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, st := range s.eps {
-		if st.probeConn != nil {
-			_ = st.probeConn.Close()
-			st.probeConn = nil
-		}
+	eps := append([]*endpointState(nil), s.eps...)
+	s.mu.Unlock()
+	for _, st := range eps {
+		st.closeProbeConn()
 	}
 	return nil
 }
@@ -203,42 +253,51 @@ func (p *Pool) probeLoop(d time.Duration) {
 // StatsQuery on the endpoint's persistent probe connection (dialing one if
 // needed), records the load reply, and marks the endpoint up. A failed
 // probe marks it down and drops the connection so the next round redials.
+// The placer mutex is never held across the wire exchange: the endpoint
+// set is snapshotted first, each probe runs against the endpoint's own
+// probe-connection slot, and the result is folded back under the lock — so
+// one server stalled on the network cannot stall placements.
 func (p *Pool) Refresh() {
 	s := &p.pl.state
+	type target struct {
+		idx int
+		st  *endpointState
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	targets := make([]target, 0, len(s.eps))
 	for idx, st := range s.eps {
-		if st.retired {
-			continue
+		if !st.retired {
+			targets = append(targets, target{idx, st})
 		}
-		reply, err := st.probe()
-		s.noteProbe(idx, reply, err)
+	}
+	s.mu.Unlock()
+	for _, t := range targets {
+		reply, err := t.st.probe()
+		s.mu.Lock()
+		if !t.st.retired {
+			s.noteProbe(t.idx, reply, err)
+		}
+		s.mu.Unlock()
 	}
 }
 
-// probe performs the wire exchange for one probe, managing the persistent
-// connection. The caller holds the placer mutex.
+// probe performs the wire exchange for one probe. No pool or placer mutex
+// is held: the persistent connection is checked out of its slot (dialing a
+// fresh one when the slot is empty), used for the exchange, and returned
+// on success; a failed probe closes it so the next round redials.
 func (st *endpointState) probe() (*protocol.StatsReply, error) {
-	if st.probeConn == nil {
-		dial := st.ep.ProbeDial
-		if dial == nil {
-			dial = st.ep.Dial
-		}
-		conn, err := dial()
-		if err != nil {
-			return nil, fmt.Errorf("broker: probe dial %s: %w", st.ep.Name, err)
-		}
-		st.probeConn = conn
+	conn, err := st.checkoutProbeConn()
+	if err != nil {
+		return nil, fmt.Errorf("broker: probe dial %s: %w", st.ep.Name, err)
 	}
 	fail := func(err error) (*protocol.StatsReply, error) {
-		_ = st.probeConn.Close()
-		st.probeConn = nil
+		_ = conn.Close()
 		return nil, fmt.Errorf("broker: probe %s: %w", st.ep.Name, err)
 	}
-	if err := st.probeConn.Send(&protocol.StatsQueryRequest{}); err != nil {
+	if err := conn.Send(&protocol.StatsQueryRequest{}); err != nil {
 		return fail(err)
 	}
-	payload, err := st.probeConn.Recv()
+	payload, err := conn.Recv()
 	if err != nil {
 		return fail(err)
 	}
@@ -249,6 +308,7 @@ func (st *endpointState) probe() (*protocol.StatsReply, error) {
 	if cerr := cudart.Error(reply.Err).AsError(); cerr != nil {
 		return fail(cerr)
 	}
+	st.returnProbeConn(conn)
 	return reply, nil
 }
 

@@ -53,6 +53,17 @@ func FuzzDecodeRequest(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	// Op-space sweep: a bare header for every op code the protocol has ever
+	// declared — plus one past the end for the unknown-op path — and a
+	// padded variant of each, so every dispatch branch of DecodeRequest is
+	// in the corpus from the first run. The wiremsg analyzer (rcuda-vet)
+	// proves statically that every declared op is dispatched; these seeds
+	// keep the dynamic corpus aligned with that invariant as ops are added.
+	for op := Op(0); op <= opBatchSentinel; op++ {
+		hdr := putU32(nil, uint32(op))
+		f.Add(hdr)
+		f.Add(append(hdr, 0, 0, 0, 0, 0, 0, 0, 0))
+	}
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		req, err := DecodeRequest(raw)

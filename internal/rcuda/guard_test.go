@@ -622,12 +622,16 @@ func TestHardenedChaosMultiClient(t *testing.T) {
 	// then never come back — the parked session is the GC's problem.
 	stallerDone := make(chan error, 1)
 	go func() {
-		staller, _ := openDurable(t, addr)
+		staller, raw := openDurable(t, addr)
 		if _, err := staller.Malloc(128 << 10); err != nil {
 			stallerDone <- err
 			return
 		}
 		time.Sleep(250 * time.Millisecond) // well past the request deadline
+		// The conn must stay reachable through the sleep: if the GC
+		// finalizes the abandoned socket first, the server sees a clean
+		// EOF and parks the session before the watchdog can kill it.
+		runtime.KeepAlive(raw)
 		stallerDone <- nil
 	}()
 
