@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify lint vet chaos soak bench bench-batch bench-scale bench-scale-smoke fuzz pool repro figures experiments clean help
+.PHONY: all build test race verify lint vet chaos migrate-chaos soak bench bench-batch bench-scale bench-scale-smoke fuzz pool repro figures experiments clean help
 
 all: build test
 
@@ -16,6 +16,7 @@ help:
 	@echo "  lint         go vet + rcuda-vet invariant analyzers + gofmt diff check"
 	@echo "  vet          rcuda-vet only: seededrand/wiremsg/locknet/errcode invariants"
 	@echo "  chaos        fault-injection suite (scripted + 50 seeded plans) under -race"
+	@echo "  migrate-chaos  live-migration suite: source killed at every protocol phase, under -race"
 	@echo "  soak         10k mixed ops at ~1% fault rate, leak-checked, under -race"
 	@echo "  bench        run all benchmarks"
 	@echo "  bench-batch  run the batched-path inference bench, refresh BENCH_batching.json"
@@ -68,6 +69,16 @@ chaos:
 		-run 'Chaos|Faulty|Fault|Retry|Truncat|Reattach|Session|Plan|KeepFor' \
 		./internal/transport/... ./internal/rcuda/... ./internal/faults/...
 
+# Migration chaos: checkpoint round-trips, the daemon-to-daemon transfer,
+# a source-daemon kill swept across every phase boundary of the migration
+# dialogue, standby-checkpoint failover, and scale-down drain-by-migration —
+# all under -race, bit-exact results asserted after every recovery.
+migrate-chaos:
+	$(GO) test -race -count=1 \
+		-run 'Migrat|Standby|Checkpoint|RestoreState|ContextState' \
+		./internal/rcuda/... ./internal/broker/... ./internal/loadgen/... \
+		./internal/protocol/... ./internal/gpu/...
+
 # Soak: 10k mixed operations through a ~1% seeded fault rate, then a
 # goroutine-leak check. Skipped by -short runs; takes ~10-30s under -race.
 soak:
@@ -98,6 +109,8 @@ bench-scale-smoke:
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=30s ./internal/protocol/
 	$(GO) test -fuzz=FuzzDecodeStatsReply -fuzztime=30s ./internal/protocol/
+	$(GO) test -fuzz=FuzzTryDecodeSessionRestore -fuzztime=30s ./internal/protocol/
+	$(GO) test -fuzz=FuzzDecodeCheckpoint -fuzztime=30s ./internal/protocol/
 
 # Broker demo: spawn three local daemons, run a verified MM/FFT batch through
 # the pool, and kill one server mid-job to show failover with clean results.

@@ -13,6 +13,10 @@
 //
 //	rcuda-broker -spawn 3 -kill -jobs 9
 //
+// or live-migrating a staged session between two daemons after the batch:
+//
+//	rcuda-broker -spawn 2 -migrate
+//
 // Every job generates its own input data, runs MM or FFT on the placed
 // server, and verifies the result against a CPU oracle; a batch only counts
 // as clean when every job verifies.
@@ -74,6 +78,7 @@ func main() {
 	fftBatch := flag.Int("fft", 8, "FFT batch size")
 	probe := flag.Duration("probe", 100*time.Millisecond, "background health-probe interval")
 	kill := flag.Bool("kill", false, "kill one spawned server mid-batch to exercise failover")
+	migrate := flag.Bool("migrate", false, "after the batch, live-migrate a staged session between spawned servers and verify its state survived")
 	flag.Parse()
 
 	policy, err := broker.ParsePolicy(*policyName)
@@ -84,8 +89,8 @@ func main() {
 	var eps []broker.Endpoint
 	var local []*spawned
 	if *servers != "" {
-		if *kill {
-			log.Fatal("-kill only applies to spawned servers")
+		if *kill || *migrate {
+			log.Fatal("-kill and -migrate only apply to spawned servers")
 		}
 		for _, addr := range strings.Split(*servers, ",") {
 			addr := strings.TrimSpace(addr)
@@ -205,10 +210,80 @@ func main() {
 	}
 	w.Flush()
 
+	if *migrate {
+		if err := migrateDemo(pool, local); err != nil {
+			log.Printf("migrate demo: %v", err)
+			failed++
+		}
+	}
+
 	s := pool.Stats()
 	fmt.Printf("\nplacements %d, spills %d, failovers %d, probes %d (%d failed), markdowns %d, markups %d\n",
 		s.Placements, s.Spills, s.Failovers, s.Probes, s.ProbeFailures, s.Markdowns, s.Markups)
+	fmt.Printf("migrations %d (%d bytes, %d failed), restores from checkpoint %d\n",
+		s.Migrations, s.MigrationBytes, s.MigrationFailures, s.RestoreFromCheckpoint)
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// migrateDemo opens a durable session on one spawned daemon, uploads a
+// payload, live-migrates the session to a pool-picked peer, and reads the
+// payload back through the re-pointed route — proving the device state
+// crossed daemons bit for bit with nothing replayed.
+func migrateDemo(pool *broker.Pool, local []*spawned) error {
+	if len(local) < 2 {
+		return fmt.Errorf("-migrate needs at least two spawned servers")
+	}
+	mod, err := kernels.ModuleFor(calib.MM)
+	if err != nil {
+		return err
+	}
+	img, err := mod.Binary()
+	if err != nil {
+		return err
+	}
+	sess, err := pool.Open(img, broker.JobSpec{})
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	payload := make([]byte, 1<<16)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	ptr, err := sess.Malloc(uint32(len(payload)))
+	if err != nil {
+		return err
+	}
+	if err := sess.MemcpyToDevice(ptr, payload); err != nil {
+		return err
+	}
+	// The pool holds handles to the spawned daemons, so it can drive the
+	// source directly; find the one hosting the session.
+	var src *rcuda.Server
+	for i, s := range local {
+		if fmt.Sprintf("local-%d", i) == sess.Endpoint {
+			src = s.srv
+		}
+	}
+	if src == nil {
+		return fmt.Errorf("session landed on unknown endpoint %q", sess.Endpoint)
+	}
+	from := sess.Endpoint
+	if err := pool.Migrate(sess, src); err != nil {
+		return err
+	}
+	got := make([]byte, len(payload))
+	if err := sess.MemcpyToHost(got, ptr); err != nil {
+		return err
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			return fmt.Errorf("payload byte %d corrupted across migration", i)
+		}
+	}
+	log.Printf("migrated session %d from %s to %s, %d-byte payload intact",
+		sess.SessionID(), from, sess.Endpoint, len(payload))
+	return nil
 }

@@ -66,6 +66,23 @@ func scenarios() []scenario {
 				}),
 			}
 		}},
+		// Long-hold, all-durable load with a strong burst: the autoscaler
+		// grows the fleet into the bursts, and on the off-phases scale-down
+		// faces daemons still holding live sessions — which it drains by
+		// live-migrating the residents instead of vetoing the retirement.
+		{name: "scale-down-migrate", build: func() loadgen.Config {
+			return loadgen.Config{
+				Seed: 5, Sessions: 10_000, Arrival: loadgen.BurstyOnOff, Rate: 6_000,
+				BurstOnMean: 400 * time.Millisecond, BurstOffMean: 400 * time.Millisecond,
+				BurstFactor:    6,
+				Classes:        []loadgen.Class{{Name: "train", Weight: 1, HoldMean: 120 * time.Millisecond, Durable: true}},
+				InitialDaemons: 2, DaemonCapacity: 32,
+				Autoscale: &broker.AutoscalerConfig{
+					Min: 2, Max: 48, DaemonCapacity: 32, Cooldown: 100 * time.Millisecond,
+					DownThreshold: 0.6,
+				},
+			}
+		}},
 		{name: "scale-100k", build: func() loadgen.Config {
 			return loadgen.Config{
 				Seed: 3, Sessions: 100_000, Arrival: loadgen.Poisson, Rate: 60_000,
@@ -100,6 +117,8 @@ type scenarioResult struct {
 	Markdowns      int64   `json:"markdowns"`
 	Markups        int64   `json:"markups"`
 	Retirements    int64   `json:"retirements"`
+	Migrations     int64   `json:"migrations"`
+	RetireVetoes   int64   `json:"retire_vetoes"`
 	ScaleUps       int64   `json:"scale_ups"`
 	ScaleDowns     int64   `json:"scale_downs"`
 	Faults         int64   `json:"faults"`
@@ -132,6 +151,8 @@ func toResult(name string, r *loadgen.Result) scenarioResult {
 		Markdowns:      r.Pool.Markdowns,
 		Markups:        r.Pool.Markups,
 		Retirements:    r.Pool.Retirements,
+		Migrations:     r.Pool.Migrations,
+		RetireVetoes:   r.Autoscaler.RetireVetoes,
 		ScaleUps:       r.Autoscaler.ScaleUps,
 		ScaleDowns:     r.Autoscaler.ScaleDowns,
 		Faults:         r.Faults,

@@ -14,6 +14,12 @@
 // the daemon drains gracefully within -drain-grace and prints a final
 // snapshot.
 //
+// The migration flags make the daemon a live-migration peer: -session-id-base
+// carves out a disjoint durable-id range so restored sessions never collide
+// with locally minted ones, -standby-peer streams periodic checkpoints of
+// parked sessions to a named peer so clients can resume there if this daemon
+// dies, and -migrate-chunk tunes the outbound checkpoint stream.
+//
 // Usage:
 //
 //	rcudad [-listen :8308] [-mem 4096] [-quiet] [hardening flags]
@@ -32,6 +38,7 @@ import (
 	"rcuda/internal/gpu"
 	_ "rcuda/internal/kernels" // register the case-study GPU modules
 	"rcuda/internal/rcuda"
+	"rcuda/internal/transport"
 	"rcuda/internal/vclock"
 )
 
@@ -44,6 +51,8 @@ func logSnapshot(logger *log.Logger, snap rcuda.StatsSnapshot) {
 		snap.RejectedConns, snap.RejectedSessions, snap.QuotaDenials, snap.WatchdogKills, snap.Evictions, snap.ForcedCloses)
 	logger.Printf("stats: batch frames=%d ops=%d replays=%d",
 		snap.BatchFrames, snap.BatchedOps, snap.BatchReplays)
+	logger.Printf("stats: migrations out=%d bytes=%d failed=%d restored-in=%d",
+		snap.Migrations, snap.MigrationBytes, snap.MigrationFailures, snap.RestoreFromCheckpoint)
 	for i, du := range snap.Devices {
 		logger.Printf("stats: device %d %q: %d bytes in %d allocations, %d sessions, busy %v",
 			i, du.Name, du.BytesInUse, du.Allocations, du.Sessions, du.Busy)
@@ -67,6 +76,11 @@ func main() {
 	reqDeadline := flag.Duration("req-deadline", 0, "request watchdog: kill connections idle or stalled past this (0 = off)")
 	parkedTTL := flag.Duration("parked-ttl", 0, "destroy parked durable sessions not reattached within this (0 = keep until shutdown)")
 	drainGrace := flag.Duration("drain-grace", rcuda.DefaultCloseGrace, "how long shutdown lets in-flight sessions finish")
+
+	sessionIDBase := flag.Uint64("session-id-base", 0, "mint durable session ids above this; daemons that exchange sessions by migration need disjoint ranges")
+	migrateChunk := flag.Uint("migrate-chunk", 0, "chunk size in bytes for outbound migration streams (0 = protocol default)")
+	standbyPeer := flag.String("standby-peer", "", "host:port of a peer daemon to stream standby checkpoints of parked sessions to")
+	standbyEvery := flag.Duration("standby-interval", time.Second, "how often parked sessions are swept to -standby-peer")
 	flag.Parse()
 	if *devices != 0 {
 		if *devices < 1 {
@@ -101,6 +115,18 @@ func main() {
 	}
 	if *spread {
 		opts = append(opts, rcuda.WithSessionSpread())
+	}
+	if *sessionIDBase > 0 {
+		opts = append(opts, rcuda.WithSessionIDBase(*sessionIDBase))
+	}
+	if *migrateChunk > 0 {
+		opts = append(opts, rcuda.WithMigrateChunkSize(uint32(*migrateChunk)))
+	}
+	if *standbyPeer != "" {
+		peer := *standbyPeer
+		opts = append(opts, rcuda.WithStandbyPeer(
+			func() (transport.Conn, error) { return transport.DialTCP(peer) },
+			*standbyEvery))
 	}
 	if !*quiet {
 		opts = append(opts, rcuda.WithLogger(logger))

@@ -27,8 +27,10 @@ import (
 //     edge cannot flap the fleet.
 //
 // Scale-down must never strand a session: the driver's Retire is asked for
-// one daemon at a time and may refuse (veto) when no daemon can drain
-// cleanly; vetoes are counted, not retried within the same decision.
+// one daemon at a time, drains a chosen daemon by live-migrating its
+// resident durable sessions to peers with spare capacity, and may refuse
+// (veto) when no daemon can drain cleanly — e.g. nowhere has room for the
+// residents; vetoes are counted, not retried within the same decision.
 
 // AutoscalerConfig parameterizes the control law. The zero value is
 // completed by sensible defaults (see withDefaults).
@@ -89,10 +91,12 @@ func (c AutoscalerConfig) withDefaults() AutoscalerConfig {
 type ScaleDriver interface {
 	// Spawn starts one daemon and registers its endpoint.
 	Spawn() error
-	// Retire drains and retires one daemon of the driver's choosing. It
-	// returns false (a veto, not an error) when no daemon can currently
-	// retire without stranding a session — e.g. every candidate still
-	// holds live durable sessions.
+	// Retire drains and retires one daemon of the driver's choosing,
+	// live-migrating its resident durable sessions to peers with spare
+	// capacity (Pool.MigrateTo over live daemons, drain-by-migration in
+	// the load generator). It returns false (a veto, not an error) when no
+	// daemon can currently retire without stranding a session — e.g. no
+	// peer has room for any candidate's residents.
 	Retire() (bool, error)
 }
 

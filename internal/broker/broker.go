@@ -316,9 +316,67 @@ func (st *endpointState) probe() (*protocol.StatsReply, error) {
 // it landed.
 type Session struct {
 	*rcuda.Client
-	// Endpoint names the server the session was placed on.
+	// Endpoint names the server the session was placed on (updated when the
+	// session is live-migrated).
 	Endpoint string
 	idx      int
+	route    *route
+}
+
+// route is the mutable redial target behind a session's reconnect policy.
+// The pool hands the client rt.dial instead of a fixed endpoint dialer, so
+// placement can be re-pointed after the session is opened: a live migration
+// repoints it explicitly, and a dead endpoint fails the redial over to a
+// peer that may hold the session restored from a checkpoint.
+type route struct {
+	p   *Pool
+	mu  sync.Mutex
+	idx int
+}
+
+func (r *route) current() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.idx
+}
+
+func (r *route) repoint(idx int) {
+	r.mu.Lock()
+	r.idx = idx
+	r.mu.Unlock()
+}
+
+// dial opens a reconnect connection to the session's current endpoint. When
+// that endpoint is unreachable — its daemon may have died — the dial fails
+// over to the other live endpoints and re-points the route at the first
+// that answers: if the session was migrated there, or a standby checkpoint
+// restored it, the reattach riding this connection resumes it with zero
+// replay; otherwise the reattach is refused and the job-level failover
+// replays as before. The route mutex is never held across a dial.
+func (r *route) dial() (transport.Conn, error) {
+	cur := r.current()
+	ep, ok := r.p.pl.endpoint(cur)
+	if !ok {
+		return nil, fmt.Errorf("broker: route names endpoint %d of %d", cur, r.p.pl.Len())
+	}
+	conn, err := ep.Dial()
+	if err == nil {
+		return conn, nil
+	}
+	for _, idx := range r.p.pl.failoverCandidates(cur) {
+		cand, ok := r.p.pl.endpoint(idx)
+		if !ok {
+			continue
+		}
+		conn, candErr := cand.Dial()
+		if candErr != nil {
+			continue
+		}
+		r.repoint(idx)
+		r.p.pl.NoteRestoreFailover()
+		return conn, nil
+	}
+	return nil, fmt.Errorf("broker: redial %s: %w", ep.Name, err)
 }
 
 // Open places a new session on the best endpoint under the pool's policy
@@ -357,7 +415,9 @@ func (p *Pool) open(module []byte, spec JobSpec, exclude map[int]bool) (*Session
 	}
 }
 
-// tryOpen dials one endpoint and opens a durable session on it.
+// tryOpen dials one endpoint and opens a durable session on it. The
+// session reconnects through a route rather than a fixed dialer, so a
+// later migration can re-point it.
 func (p *Pool) tryOpen(idx int, module []byte) (*Session, error) {
 	s := &p.pl.state
 	s.mu.Lock()
@@ -367,9 +427,10 @@ func (p *Pool) tryOpen(idx int, module []byte) (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("broker: dial %s: %w", ep.Name, err)
 	}
+	rt := &route{p: p, idx: idx}
 	opts := append([]rcuda.ClientOption{
 		rcuda.WithRetry(4, time.Millisecond),
-		rcuda.WithReconnect(ep.Dial),
+		rcuda.WithReconnect(rt.dial),
 	}, p.clientOpts...)
 	client, err := rcuda.Open(conn, module, opts...)
 	if err != nil {
@@ -377,7 +438,59 @@ func (p *Pool) tryOpen(idx int, module []byte) (*Session, error) {
 		return nil, err
 	}
 	p.pl.NotePlaced(idx)
-	return &Session{Client: client, Endpoint: ep.Name, idx: idx}, nil
+	return &Session{Client: client, Endpoint: ep.Name, idx: idx, route: rt}, nil
+}
+
+// Migrator is the control interface the pool drives to move a session off
+// its source daemon; *rcuda.Server implements it. In a deployment where the
+// broker cannot hold daemon handles this would be a control RPC to the
+// source, but the wire dialogue that actually moves the state — restore
+// handshake, chunk stream, digest-checked commit — is daemon-to-daemon
+// either way, and the client never relays a byte.
+type Migrator interface {
+	MigrateSession(id uint64, dial func() (transport.Conn, error)) (int64, error)
+}
+
+// Migrate live-migrates a pool-placed session off its current endpoint,
+// picking the destination under the pool's placement policy. See MigrateTo.
+func (p *Pool) Migrate(s *Session, src Migrator) error {
+	exclude := map[int]bool{s.idx: true}
+	idx, ok := p.pl.Pick(JobSpec{}, exclude)
+	if !ok {
+		return ErrNoServers
+	}
+	return p.MigrateTo(s, src, idx)
+}
+
+// MigrateTo live-migrates a pool-placed session to the endpoint at destIdx:
+// the source daemon quiesces the session, streams its checkpoint straight
+// to the destination daemon, and destroys its copy on commit; the pool then
+// atomically re-points the session's route so the client's next redial —
+// typically triggered by the source's CodeSessionMigrated redirect —
+// reattaches at the destination with every allocation intact and nothing
+// replayed. On failure the session is untouched and still placed where it
+// was.
+func (p *Pool) MigrateTo(s *Session, src Migrator, destIdx int) error {
+	dest, ok := p.pl.endpoint(destIdx)
+	if !ok {
+		return fmt.Errorf("broker: migrate to unknown endpoint %d", destIdx)
+	}
+	id := s.SessionID()
+	if id == 0 {
+		return fmt.Errorf("broker: session on %s is not durable", s.Endpoint)
+	}
+	n, err := src.MigrateSession(id, dest.Dial)
+	if err != nil {
+		p.pl.NoteMigrationFailure()
+		return fmt.Errorf("broker: migrate session %d to %s: %w", id, dest.Name, err)
+	}
+	p.pl.NoteMigration(destIdx, n)
+	if s.route != nil {
+		s.route.repoint(destIdx)
+	}
+	s.idx = destIdx
+	s.Endpoint = dest.Name
+	return nil
 }
 
 // Run executes job in a pool-placed session with failover: the session is

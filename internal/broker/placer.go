@@ -102,6 +102,38 @@ func (p *Placer) Name(idx int) string {
 	return s.eps[idx].ep.Name
 }
 
+// endpoint returns a copy of the endpoint record at idx, false when idx is
+// out of range.
+func (p *Placer) endpoint(idx int) (Endpoint, bool) {
+	s := &p.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idx < 0 || idx >= len(s.eps) {
+		return Endpoint{}, false
+	}
+	return s.eps[idx].ep, true
+}
+
+// failoverCandidates lists the non-retired endpoints a dead endpoint's
+// sessions could resume on, marked-up ones first, excluding the dead one.
+func (p *Placer) failoverCandidates(exclude int) []int {
+	s := &p.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var up, down []int
+	for i, st := range s.eps {
+		if i == exclude || st.retired {
+			continue
+		}
+		if st.up {
+			up = append(up, i)
+		} else {
+			down = append(down, i)
+		}
+	}
+	return append(up, down...)
+}
+
 // Pick selects the next endpoint for a session under the policy,
 // considering non-retired endpoints not in exclude. Marked-up endpoints
 // are preferred; if every candidate is marked down they are considered
@@ -145,6 +177,31 @@ func (p *Placer) NoteSpill() { p.state.stats.spills.Add(1) }
 // NoteFailover counts a job replayed on another endpoint after its session
 // was lost mid-run.
 func (p *Placer) NoteFailover() { p.state.stats.failovers.Add(1) }
+
+// NoteMigration records a completed live migration onto the endpoint at
+// destIdx: the migration counters grow and the destination's
+// placed-since-probe guard rises so a burst of migrations cannot stampede
+// the currently least-loaded server.
+func (p *Placer) NoteMigration(destIdx int, bytes int64) {
+	s := &p.state
+	s.mu.Lock()
+	if destIdx >= 0 && destIdx < len(s.eps) {
+		s.eps[destIdx].placed++
+	}
+	s.mu.Unlock()
+	s.stats.migrations.Add(1)
+	s.stats.migrationBytes.Add(bytes)
+}
+
+// NoteMigrationFailure counts a live migration that failed; the session
+// stays intact on its source.
+func (p *Placer) NoteMigrationFailure() { p.state.stats.migrationFailures.Add(1) }
+
+// NoteRestoreFailover counts a route redial that failed over to a peer
+// endpoint after the pinned one became unreachable — the path by which a
+// session resumes from a migrated or standby-checkpoint copy instead of
+// being replayed.
+func (p *Placer) NoteRestoreFailover() { p.state.stats.restoreFromCheckpoint.Add(1) }
 
 // NoteFailure marks an endpoint down after a placement or session failure.
 func (p *Placer) NoteFailure(idx int, err error) {
@@ -203,6 +260,11 @@ func (p *Placer) Stats() PoolStats {
 		Markdowns:     c.markdowns.Load(),
 		Markups:       c.markups.Load(),
 		Retirements:   c.retirements.Load(),
+
+		Migrations:            c.migrations.Load(),
+		MigrationBytes:        c.migrationBytes.Load(),
+		MigrationFailures:     c.migrationFailures.Load(),
+		RestoreFromCheckpoint: c.restoreFromCheckpoint.Load(),
 	}
 }
 

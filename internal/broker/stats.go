@@ -22,6 +22,17 @@ type PoolStats struct {
 	// Retirements counts endpoints permanently removed from placement by
 	// elastic scale-down.
 	Retirements int64
+	// Migrations counts sessions live-migrated between endpoints through
+	// Pool.Migrate, and MigrationBytes the checkpoint bytes they streamed.
+	Migrations     int64
+	MigrationBytes int64
+	// MigrationFailures counts migrations that failed; the session stays
+	// intact on its source endpoint.
+	MigrationFailures int64
+	// RestoreFromCheckpoint counts route redials that failed over to a peer
+	// endpoint, where a migrated or standby-checkpoint copy of the session
+	// gets the chance to resume without a replay.
+	RestoreFromCheckpoint int64
 }
 
 type poolCounters struct {
@@ -33,6 +44,11 @@ type poolCounters struct {
 	markdowns     atomic.Int64
 	markups       atomic.Int64
 	retirements   atomic.Int64
+
+	migrations            atomic.Int64
+	migrationBytes        atomic.Int64
+	migrationFailures     atomic.Int64
+	restoreFromCheckpoint atomic.Int64
 }
 
 // Stats returns a snapshot of the pool's counters.

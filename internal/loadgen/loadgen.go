@@ -27,8 +27,11 @@
 //     crashes, stalls, stale gauges);
 //   - elasticity: an optional Autoscaler observes demand each probe tick
 //     and spawns or retires simulated daemons through a ScaleDriver that
-//     refuses to retire any daemon still holding sessions, so scale-down
-//     can never strand a durable session.
+//     drains a retiring daemon by live-migrating its resident durable
+//     sessions to the rest of the fleet (the same move the live pool makes
+//     with checkpoint streaming); a daemon holding non-durable sessions, or
+//     one the fleet has no spare capacity to absorb, vetoes instead — so
+//     scale-down can never strand a session.
 package loadgen
 
 import (
@@ -662,9 +665,13 @@ func (s *sim) sampleTick() {
 	}
 }
 
-// scaleDriver adapts the sim to broker.ScaleDriver. Retire only drains
-// empty daemons: a daemon holding any session — durable or not — vetoes,
-// so elastic scale-down cannot strand work by construction.
+// scaleDriver adapts the sim to broker.ScaleDriver. Retire drains the
+// least-loaded drainable daemon by live-migrating its resident durable
+// sessions onto peers with spare capacity — sessions keep running through
+// the move, with no re-queue and no failover. A daemon holding any
+// non-durable session (nothing to checkpoint) vetoes, as does a fleet with
+// too little spare capacity to absorb the residents; either way scale-down
+// cannot strand work by construction.
 type scaleDriver sim
 
 func (sd *scaleDriver) Spawn() error {
@@ -675,16 +682,83 @@ func (sd *scaleDriver) Spawn() error {
 
 func (sd *scaleDriver) Retire() (bool, error) {
 	s := (*sim)(sd)
+	src := s.retireCandidate()
+	if src == nil || !s.drainByMigration(src) {
+		return false, nil
+	}
+	src.retired = true
+	src.alive = false
+	s.alive--
+	s.pl.Retire(src.idx)
+	return true, nil
+}
+
+// retireCandidate picks the daemon to drain: the alive, unretired daemon
+// with the fewest resident sessions whose residents are all durable (a
+// non-durable session dies with its daemon and so pins it) and whose
+// residents the rest of the fleet has spare capacity to absorb. Nil means
+// every candidate vetoes.
+func (s *sim) retireCandidate() *daemon {
+	var best *daemon
+	spare := 0
 	for _, d := range s.daemons {
-		if d.alive && !d.retired && d.live == 0 {
-			d.retired = true
-			d.alive = false
-			s.alive--
-			s.pl.Retire(d.idx)
-			return true, nil
+		if d.alive && !d.retired {
+			spare += d.capacity - d.live
 		}
 	}
-	return false, nil
+	for _, d := range s.daemons {
+		if !d.alive || d.retired {
+			continue
+		}
+		if best != nil && d.live >= best.live {
+			continue
+		}
+		drainable := spare-(d.capacity-d.live) >= d.live
+		for id := range d.sessions {
+			if !s.sessions[id].durable {
+				drainable = false
+				break
+			}
+		}
+		if drainable {
+			best = d
+		}
+	}
+	return best
+}
+
+// drainByMigration live-migrates every resident session of src onto the
+// peer with the most spare capacity, in session-id order so replays are
+// deterministic. The sessions' hold timers keep running: a migration is
+// invisible to the session, there is no re-queue and no replay. Reports
+// whether src ended empty.
+func (s *sim) drainByMigration(src *daemon) bool {
+	ids := make([]int, 0, len(src.sessions))
+	for id := range src.sessions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		var dest *daemon
+		for _, d := range s.daemons {
+			if d == src || !d.alive || d.retired || d.live >= d.capacity {
+				continue
+			}
+			if dest == nil || d.capacity-d.live > dest.capacity-dest.live {
+				dest = d
+			}
+		}
+		if dest == nil {
+			return false // capacity shifted mid-drain; the caller vetoes
+		}
+		delete(src.sessions, id)
+		src.live--
+		dest.sessions[id] = struct{}{}
+		dest.live++
+		s.sessions[id].daemon = dest.idx
+		s.pl.NoteMigration(dest.idx, 0)
+	}
+	return true
 }
 
 // result assembles the Result snapshot.

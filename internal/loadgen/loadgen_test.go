@@ -157,7 +157,8 @@ func TestAutoscaleGrowsAndShrinks(t *testing.T) {
 // TestChaosScaleDownStrandsNothing is the acceptance chaos test: daemons
 // are killed by an injected fault plan while the autoscaler is actively
 // growing and shrinking the fleet, and not one durable session may be
-// lost — kills fail them over, and scale-down only retires empty daemons.
+// lost — kills fail them over, and scale-down drains retiring daemons by
+// migrating their residents (or vetoes when it cannot).
 func TestChaosScaleDownStrandsNothing(t *testing.T) {
 	r, err := Run(Config{
 		Seed:     11,
@@ -201,6 +202,52 @@ func TestChaosScaleDownStrandsNothing(t *testing.T) {
 	}
 	if r.Pool.Markdowns == 0 || r.Pool.Markups == 0 {
 		t.Fatalf("stalls never flapped health: %+v", r.Pool)
+	}
+}
+
+// TestScaleDownMigratesInsteadOfVetoing drives a long-hold all-durable
+// load whose burst grows the fleet and whose tail drains it: scale-down
+// then faces daemons that still hold live durable sessions, and must
+// retire them by migrating the residents — no stranding, no lost
+// sessions, and every migrated session still completes its hold.
+func TestScaleDownMigratesInsteadOfVetoing(t *testing.T) {
+	r, err := Run(Config{
+		Seed:           17,
+		Sessions:       20_000,
+		Arrival:        BurstyOnOff,
+		Rate:           6_000,
+		Classes:        []Class{{Name: "train", Weight: 1, HoldMean: 120 * time.Millisecond, Durable: true}},
+		BurstOnMean:    400 * time.Millisecond,
+		BurstOffMean:   400 * time.Millisecond,
+		BurstFactor:    6,
+		InitialDaemons: 2,
+		DaemonCapacity: 32,
+		Autoscale: &broker.AutoscalerConfig{
+			Min: 2, Max: 48, DaemonCapacity: 32, Cooldown: 100 * time.Millisecond,
+			DownThreshold: 0.6,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed != int64(r.Sessions) || r.LostDurable != 0 || r.Unplaced != 0 {
+		t.Fatalf("drain stranded work: completed %d of %d, lost %d, unplaced %d",
+			r.Completed, r.Sessions, r.LostDurable, r.Unplaced)
+	}
+	if r.Pool.Retirements == 0 {
+		t.Fatalf("fleet never shrank: %+v", r.Pool)
+	}
+	if r.Pool.Migrations == 0 {
+		t.Fatalf("scale-down retired %d daemons without migrating a single resident: %+v",
+			r.Pool.Retirements, r.Pool)
+	}
+	if r.Pool.MigrationFailures != 0 {
+		t.Fatalf("simulated migrations cannot fail: %+v", r.Pool)
+	}
+	// Migration moves a running session without re-queuing it: failovers
+	// count only chaos kills, of which this scenario has none.
+	if r.Pool.Failovers != 0 {
+		t.Fatalf("migrations were counted as failovers: %+v", r.Pool)
 	}
 }
 

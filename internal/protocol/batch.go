@@ -154,7 +154,7 @@ func DecodeBatchResponse(b []byte) (*BatchResponse, error) {
 // same ownership contract as the memcpy payloads.
 func decodeBatchRequest(op Op, b []byte) (Request, error) {
 	if op != OpBatch {
-		return nil, fmt.Errorf("%w: %d", ErrBadOp, uint32(op))
+		return decodeMigrateRequest(op, b)
 	}
 	if len(b) < 16 {
 		return nil, ErrShortMessage

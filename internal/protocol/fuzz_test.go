@@ -40,6 +40,10 @@ func FuzzDecodeRequest(f *testing.F) {
 			(&LaunchRequest{Name: "sgemmNN", Params: []byte{1, 2, 3, 4}}).Encode(nil),
 			(&EventRecordRequest{Event: 1, Stream: 1}).Encode(nil),
 		}},
+		&SessionRestoreRequest{Session: 9},
+		&MigrateBeginRequest{Total: 64, ChunkSize: 16},
+		&MigrateChunk{Seq: 2, Data: []byte{1, 2, 3}},
+		&MigrateCommitRequest{Chunks: 4, Digest: 0xfeedface},
 	}
 	for _, s := range seeds {
 		full := s.Encode(nil)
@@ -59,7 +63,7 @@ func FuzzDecodeRequest(f *testing.F) {
 	// in the corpus from the first run. The wiremsg analyzer (rcuda-vet)
 	// proves statically that every declared op is dispatched; these seeds
 	// keep the dynamic corpus aligned with that invariant as ops are added.
-	for op := Op(0); op <= opBatchSentinel; op++ {
+	for op := Op(0); op <= opMigrateSentinel; op++ {
 		hdr := putU32(nil, uint32(op))
 		f.Add(hdr)
 		f.Add(append(hdr, 0, 0, 0, 0, 0, 0, 0, 0))
@@ -249,6 +253,118 @@ func FuzzTryDecodeStatsQuery(f *testing.F) {
 			if enc := q.Encode(nil); !bytes.Equal(enc, raw) {
 				t.Fatalf("query re-encode mismatch: %x vs %x", enc, raw)
 			}
+		}
+	})
+}
+
+// FuzzTryDecodeSessionRestore covers the migration handshake's
+// first-payload sniffing: exactly one 12-byte spelling of the op is a
+// restore request, and the decision must agree with the general request
+// decoder.
+func FuzzTryDecodeSessionRestore(f *testing.F) {
+	f.Add((&SessionRestoreRequest{Session: 7}).Encode(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add((&ReattachRequest{Session: 7}).Encode(nil))
+	f.Add(append((&SessionRestoreRequest{Session: 7}).Encode(nil), 0)) // trailing byte
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		q, ok := TryDecodeSessionRestore(raw)
+		if ok != (q != nil) {
+			t.Fatalf("ok=%v but request=%v", ok, q)
+		}
+		want := len(raw) == 12 && Op(getU32(raw, 0)) == OpSessionRestore
+		if ok != want {
+			t.Fatalf("TryDecodeSessionRestore=%v on %x, want %v", ok, raw, want)
+		}
+		if ok {
+			if enc := q.Encode(nil); !bytes.Equal(enc, raw) {
+				t.Fatalf("restore re-encode mismatch: %x vs %x", enc, raw)
+			}
+		}
+	})
+}
+
+// FuzzDecodeMigrateChunk stresses the migration-chunk decoder the
+// daemon-to-daemon stream trusts for payload framing: truncated headers,
+// mismatched declared sizes, and foreign ops must all be rejected without
+// panics, and accepted chunks must re-encode canonically.
+func FuzzDecodeMigrateChunk(f *testing.F) {
+	full := (&MigrateChunk{Seq: 3, Data: []byte{1, 2, 3, 4}}).Encode(nil)
+	f.Add(full)
+	f.Add(full[:len(full)-1])
+	f.Add(full[:11])
+	f.Add((&MemcpyStreamChunk{Seq: 3, Data: []byte{1}}).Encode(nil))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		c, err := DecodeMigrateChunk(raw)
+		if err != nil {
+			return
+		}
+		if enc := c.Encode(nil); !bytes.Equal(enc, raw) {
+			t.Fatalf("chunk re-encode mismatch:\n in  %x\n out %x", raw, enc)
+		}
+		if s := c.Stream(); s.Seq != c.Seq || !bytes.Equal(s.Data, c.Data) {
+			t.Fatal("Stream() view disagrees with the chunk")
+		}
+	})
+}
+
+// FuzzDecodeCheckpoint feeds arbitrary bytes to the checkpoint decoder: it
+// must never panic, never allocate absurd buffers from corrupt counts, and
+// every accepted payload must re-encode to the identical bytes.
+func FuzzDecodeCheckpoint(f *testing.F) {
+	seeds := []*Checkpoint{
+		{Session: 1, Module: "matmul"},
+		{
+			Session:        7,
+			Module:         "fft",
+			CurDevice:      1,
+			LastBatchSeq:   42,
+			LastBatchCodes: []uint32{0, 0, 2},
+			Devices: []DeviceCheckpoint{
+				{
+					Device: 0,
+					Allocs: []AllocCheckpoint{
+						{Addr: 256, Size: 4, Data: []byte{1, 2, 3, 4}},
+						{Addr: 512, Size: 2, Data: []byte{9, 9}},
+					},
+					Timeline: TimelineCheckpoint{
+						EngineDone: [2]uint64{10, 20},
+						Streams:    []TimelineEntry{{ID: 0, Done: 5}, {ID: 1, Done: 7}},
+						Events:     []TimelineEntry{{ID: 1, Done: 6}},
+						NextStream: 2,
+						NextEvent:  2,
+					},
+				},
+				{Device: 1},
+			},
+		},
+	}
+	for _, s := range seeds {
+		full := s.Encode(nil)
+		f.Add(full)
+		f.Add(full[:len(full)/2])
+		if len(full) > 1 {
+			f.Add(full[:len(full)-1])
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		c, err := DecodeCheckpoint(raw)
+		if err == nil && c == nil {
+			t.Fatal("nil checkpoint with nil error")
+		}
+		if err != nil {
+			return
+		}
+		if c.WireSize() != len(raw) {
+			t.Fatalf("WireSize %d for %d-byte payload", c.WireSize(), len(raw))
+		}
+		if enc := c.Encode(nil); !bytes.Equal(enc, raw) {
+			t.Fatalf("checkpoint re-encode mismatch:\n in  %x\n out %x", raw, enc)
 		}
 	})
 }

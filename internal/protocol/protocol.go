@@ -84,6 +84,9 @@ func (o Op) String() string {
 		if name, ok := batchOpNames[o]; ok {
 			return name
 		}
+		if name, ok := migrateOpNames[o]; ok {
+			return name
+		}
 		return fmt.Sprintf("Op(%d)", uint32(o))
 	}
 }

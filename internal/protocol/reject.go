@@ -19,4 +19,9 @@ const (
 	// CodeSessionEvicted refuses a reattach whose parked session the
 	// server already reclaimed; the session cannot be recovered.
 	CodeSessionEvicted uint32 = 1002
+	// CodeSessionMigrated redirects a reattach: the session was live-
+	// migrated to another daemon and the broker has re-pointed placement,
+	// so the client should redial through its (now updated) route and
+	// reattach there — nothing was lost and nothing needs replaying.
+	CodeSessionMigrated uint32 = 1003
 )

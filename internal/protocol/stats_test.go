@@ -185,9 +185,9 @@ func FuzzDecodeStatsReply(f *testing.F) {
 	})
 }
 
-func TestDecodeRequestBeyondBatchSentinel(t *testing.T) {
-	raw := putU32(nil, uint32(opBatchSentinel))
+func TestDecodeRequestBeyondMigrateSentinel(t *testing.T) {
+	raw := putU32(nil, uint32(opMigrateSentinel))
 	if _, err := DecodeRequest(raw); !errors.Is(err, ErrBadOp) {
-		t.Fatalf("op beyond the batch block: %v, want ErrBadOp", err)
+		t.Fatalf("op beyond the migrate block: %v, want ErrBadOp", err)
 	}
 }

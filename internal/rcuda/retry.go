@@ -204,6 +204,14 @@ func (c *Client) reconnect() error {
 		// the session still exists, so this must NOT latch ErrSessionLost.
 		_ = conn.Close()
 		return fmt.Errorf("rcuda: reattach refused: %w", ErrServerBusy)
+	case resp.Err == protocol.CodeSessionMigrated:
+		// Redirect: the session was live-migrated and the broker has
+		// re-pointed this client's route, so the next redial lands on its
+		// new home with every allocation intact. Nothing is lost and
+		// nothing replays, so this must NOT latch ErrSessionLost.
+		_ = conn.Close()
+		c.cstats.migrations.Add(1)
+		return fmt.Errorf("rcuda: reattach redirected: %w", ErrSessionMigrated)
 	case resp.Err == protocol.CodeSessionEvicted:
 		// Permanent: the parked-session GC reclaimed the session.
 		_ = conn.Close()

@@ -94,6 +94,19 @@ type Server struct {
 	evicted map[uint64]struct{}
 	gcStop  chan struct{}
 	gcDone  chan struct{}
+	// migrated remembers sessions live-migrated to another daemon, so a
+	// late reattach gets the CodeSessionMigrated redirect (see migrate.go).
+	migrated map[uint64]struct{}
+	// migrateChunk is the outbound migration stream's chunk size
+	// (WithMigrateChunkSize); zero means protocol.DefaultChunkSize.
+	migrateChunk uint32
+	// Standby-checkpoint loop state (WithStandbyPeer). standbyCopied maps a
+	// session id to the parkedAt instant of its last successful copy,
+	// guarded by mu.
+	standbyDial   func() (transport.Conn, error)
+	standbyEvery  time.Duration
+	standbyDone   chan struct{}
+	standbyCopied map[uint64]time.Time
 }
 
 // ServerOption configures a Server.
@@ -144,6 +157,10 @@ func NewServer(dev *gpu.Device, opts ...ServerOption) *Server {
 	s.guard = newGuard(s.maxSessions, s.maxConns, s.admitQueueDepth, s.admitQueueWait)
 	s.devSessions = make([]atomic.Int64, len(s.devs))
 	s.devBusy = make([]atomic.Int64, len(s.devs))
+	if s.standbyDial != nil {
+		s.standbyDone = make(chan struct{})
+		go s.standbyLoop(s.standbyEvery, s.standbyDone)
+	}
 	return s
 }
 
@@ -202,10 +219,15 @@ func (s *Server) beginShutdown() error {
 	close(s.doneCh)
 	gcStop, gcDone := s.gcStop, s.gcDone
 	s.gcStop, s.gcDone = nil, nil
+	standbyDone := s.standbyDone
+	s.standbyDone = nil
 	s.mu.Unlock()
 	if gcStop != nil {
 		close(gcStop)
 		<-gcDone
+	}
+	if standbyDone != nil {
+		<-standbyDone // woken by doneCh
 	}
 	if ln != nil {
 		return ln.Close()
@@ -328,6 +350,18 @@ type session struct {
 	parkedAt time.Time
 	// destroyed is guarded by srv.mu and flips exactly once.
 	destroyed bool
+	// conn is the connection currently serving the session (nil while
+	// parked), guarded by srv.mu; migration closes it to force-park a
+	// still-attached session.
+	conn transport.Conn
+	// migrating marks the session claimed by a migration or standby copy:
+	// reattaches are refused busy until the claim resolves. Guarded by
+	// srv.mu.
+	migrating bool
+	// standby marks state this daemon materialized from a checkpoint that
+	// no client has claimed yet; a fresher inbound checkpoint may replace
+	// it. Cleared on the first successful reattach. Guarded by srv.mu.
+	standby bool
 	// Batch replay protection (see dispatchBatch): the sequence and result
 	// codes of the last executed batch. Only the session's single handler
 	// goroutine touches them, and they survive park/reattach so a batch
@@ -446,6 +480,9 @@ func (s *Server) serveSession(conn transport.Conn, withinConnCap bool) error {
 	if sess == nil {
 		return nil
 	}
+	s.mu.Lock()
+	sess.conn = conn
+	s.mu.Unlock()
 	s.attached.Add(1)
 	finalized := false
 	defer func() {
@@ -493,6 +530,7 @@ func (s *Server) serveSession(conn transport.Conn, withinConnCap bool) error {
 // daemon shutting down) is destroyed.
 func (s *Server) releaseSession(sess *session, finalized bool) {
 	s.mu.Lock()
+	sess.conn = nil
 	if sess.durable && !finalized && !s.closed && !sess.destroyed {
 		sess.attached = false
 		sess.parkedAt = time.Now()
@@ -592,6 +630,13 @@ func (s *Server) handshake(conn transport.Conn, withinConnCap bool) (*session, e
 	if q, isProbe := protocol.TryDecodeStatsQuery(payload); isProbe {
 		return nil, s.serveStatsConn(conn, q)
 	}
+	// An inbound migration stream from a peer daemon (see migrate.go). It
+	// is admitted like a fresh init — connection cap here, session slot
+	// inside — and never returns a session: the restored session parks
+	// awaiting the redirected client's reattach.
+	if rr, isRestore := protocol.TryDecodeSessionRestore(payload); isRestore {
+		return nil, s.serveRestoreConn(conn, rr, withinConnCap)
+	}
 	r, isReattach := protocol.TryDecodeReattach(payload)
 	if !withinConnCap {
 		s.counters.rejectedConns.Add(1)
@@ -680,9 +725,12 @@ func (s *Server) reattachSession(conn transport.Conn, r *protocol.ReattachReques
 		s.mu.Lock()
 		sess, known := s.registry[r.Session]
 		_, wasEvicted := s.evicted[r.Session]
+		_, wasMigrated := s.migrated[r.Session]
 		closed := s.closed
-		if known && !closed && !sess.attached {
+		migrating := known && sess.migrating
+		if known && !closed && !sess.attached && !migrating {
 			sess.attached = true
+			sess.standby = false
 			sess.parkCh = make(chan struct{})
 			cur := sess.cur
 			s.mu.Unlock()
@@ -707,12 +755,22 @@ func (s *Server) reattachSession(conn transport.Conn, r *protocol.ReattachReques
 		}
 		s.mu.Unlock()
 		switch {
+		case wasMigrated:
+			// Redirect: the session lives on, on another daemon. The broker
+			// has re-pointed the client's route; the next redial lands there.
+			_ = conn.Send(&protocol.ReattachResponse{Err: protocol.CodeSessionMigrated})
+			return nil, fmt.Errorf("rcuda: reattach redirected: session %d: %w", r.Session, ErrSessionMigrated)
 		case wasEvicted:
 			_ = conn.Send(&protocol.ReattachResponse{Err: protocol.CodeSessionEvicted})
 			return nil, fmt.Errorf("rcuda: reattach refused: session %d: %w", r.Session, ErrSessionEvicted)
 		case !known || closed:
 			_ = conn.Send(&protocol.ReattachResponse{Err: uint32(cudart.ErrorInitialization)})
 			return nil, fmt.Errorf("rcuda: reattach refused for session %d (known=%v)", r.Session, known)
+		case migrating:
+			// Mid-migration: transient from the client's perspective — after
+			// the commit this id answers with the migrated redirect instead.
+			_ = conn.Send(&protocol.ReattachResponse{Err: protocol.CodeServerBusy})
+			return nil, fmt.Errorf("rcuda: reattach during migration of session %d: %w", r.Session, ErrServerBusy)
 		}
 		select {
 		case <-parked:

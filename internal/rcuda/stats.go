@@ -60,6 +60,18 @@ type ServerStats struct {
 	// BatchReplays counts batches answered from the per-session dedup state
 	// without re-execution (a client retried after losing the response).
 	BatchReplays int64
+	// Migrations counts sessions live-migrated away to another daemon, and
+	// MigrationBytes the checkpoint bytes streamed out (moves and standby
+	// copies both).
+	Migrations     int64
+	MigrationBytes int64
+	// MigrationFailures counts outbound migrations and standby copies that
+	// failed; the session stays intact and reattachable here.
+	MigrationFailures int64
+	// RestoreFromCheckpoint counts sessions this daemon materialized from
+	// an inbound checkpoint stream (a migration's destination half, or a
+	// peer's standby copy).
+	RestoreFromCheckpoint int64
 }
 
 // serverCounters backs Server.Stats with atomics.
@@ -81,6 +93,11 @@ type serverCounters struct {
 	batchFrames      atomic.Int64
 	batchedOps       atomic.Int64
 	batchReplays     atomic.Int64
+
+	migrations            atomic.Int64
+	migrationBytes        atomic.Int64
+	migrationFailures     atomic.Int64
+	restoreFromCheckpoint atomic.Int64
 }
 
 // Stats returns a snapshot of the daemon's counters.
@@ -104,6 +121,11 @@ func (s *Server) Stats() ServerStats {
 		BatchFrames:      s.counters.batchFrames.Load(),
 		BatchedOps:       s.counters.batchedOps.Load(),
 		BatchReplays:     s.counters.batchReplays.Load(),
+
+		Migrations:            s.counters.migrations.Load(),
+		MigrationBytes:        s.counters.migrationBytes.Load(),
+		MigrationFailures:     s.counters.migrationFailures.Load(),
+		RestoreFromCheckpoint: s.counters.restoreFromCheckpoint.Load(),
 	}
 }
 
@@ -261,6 +283,10 @@ type ClientStats struct {
 	// and filled into the client cache (device count and properties).
 	CacheHits   int64
 	CacheMisses int64
+	// Migrations counts reattaches redirected with CodeSessionMigrated and
+	// followed to the session's new home — each is a recovery that replayed
+	// nothing.
+	Migrations int64
 }
 
 // clientCounters backs Client.Stats with atomics so observers can poll a
@@ -274,6 +300,7 @@ type clientCounters struct {
 	opsCoalesced   atomic.Int64
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
+	migrations     atomic.Int64
 }
 
 // Stats returns a snapshot of the client's resilience counters.
@@ -287,5 +314,6 @@ func (c *Client) Stats() ClientStats {
 		OpsCoalesced:   c.cstats.opsCoalesced.Load(),
 		CacheHits:      c.cstats.cacheHits.Load(),
 		CacheMisses:    c.cstats.cacheMisses.Load(),
+		Migrations:     c.cstats.migrations.Load(),
 	}
 }
