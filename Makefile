@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify lint vet chaos migrate-chaos soak bench bench-batch bench-scale bench-scale-smoke fuzz pool repro figures experiments clean help
+.PHONY: all build test race verify lint vet chaos migrate-chaos soak bench bench-batch bench-scale bench-scale-smoke bench-sched bench-sched-smoke fuzz pool repro figures experiments clean help
 
 all: build test
 
@@ -22,6 +22,8 @@ help:
 	@echo "  bench-batch  run the batched-path inference bench, refresh BENCH_batching.json"
 	@echo "  bench-scale  run the 10^4-10^5 session scale harness, refresh BENCH_loadscale.json"
 	@echo "  bench-scale-smoke  CI freshness check: re-run the <=10^4 scale scenarios"
+	@echo "  bench-sched  run the WFQ-vs-FIFO starvation bench, refresh BENCH_sched.json"
+	@echo "  bench-sched-smoke  CI freshness check: re-run the scheduler scenarios"
 	@echo "  fuzz         short fuzzing pass over the wire-protocol decoders"
 	@echo "  pool         broker demo: 3 local daemons, one killed mid-batch"
 	@echo "  repro        regenerate every table and figure of the paper on stdout"
@@ -58,7 +60,7 @@ vet:
 # workloads) under the race detector, and the deterministic fault-injection
 # suite.
 verify: build test vet chaos
-	$(GO) test -race ./internal/transport/... ./internal/rcuda/... ./internal/broker/... ./internal/loadgen/... ./internal/workload/...
+	$(GO) test -race ./internal/transport/... ./internal/rcuda/... ./internal/broker/... ./internal/sched/... ./internal/loadgen/... ./internal/workload/...
 
 # Chaos suite: every fault kind's transport semantics, the retry policy, and
 # the MM/FFT case studies under scripted and 50 consecutive seeded fault
@@ -104,6 +106,19 @@ bench-scale:
 # and fail if the committed BENCH_loadscale.json does not match.
 bench-scale-smoke:
 	$(GO) run ./cmd/rcuda-loadgen -check -cap 10000 -out BENCH_loadscale.json
+
+# Deterministic scheduler bench: the mixed-tenant starvation scenario under
+# FIFO vs WFQ on the virtual clock, plus weighted-share proportionality.
+# The command enforces the fairness gates (realtime p99 >= 5x better at
+# <= 10% throughput delta) and two-run determinism before writing. Commit
+# the refreshed BENCH_sched.json so scheduling drift shows up in review.
+bench-sched:
+	$(GO) run ./cmd/rcuda-bench-sched -out BENCH_sched.json
+
+# CI freshness check: re-run the scheduler scenarios (seconds of virtual
+# time, fast on the wall clock) and fail if BENCH_sched.json is stale.
+bench-sched-smoke:
+	$(GO) run ./cmd/rcuda-bench-sched -check -out BENCH_sched.json
 
 # Short fuzzing pass over the wire-protocol decoders.
 fuzz:

@@ -1,0 +1,308 @@
+// Command rcuda-bench-sched quantifies the PR 10 scheduler's headline
+// result: the mixed-tenant starvation scenario — one greedy bulk tenant
+// with a deep async pipeline sharing a device with latency-sensitive
+// realtime tenants — under FIFO (the paper's arrival-order baseline) and
+// under WFQ with priority classes. The scheduler must cut the realtime
+// class's p99 queue wait by at least 5x while serving the same aggregate
+// throughput within 10%: fairness is not allowed to cost bandwidth.
+//
+// Every scenario runs on sched.Simulate's virtual clock, so results are a
+// pure function of the seed; each scenario is run twice and must reproduce
+// byte for byte before it is written. The committed artifact is
+// BENCH_sched.json:
+//
+//	rcuda-bench-sched                  # run all scenarios, refresh BENCH_sched.json
+//	rcuda-bench-sched -out ""          # print only
+//	rcuda-bench-sched -check           # CI: re-run and fail if the file is stale
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"rcuda/internal/sched"
+)
+
+// scenario is one named, fully-pinned tenant mix. Both policies run the
+// same mix from the same seed, so the only variable is the grant order.
+type scenario struct {
+	name  string
+	seed  int64
+	dur   time.Duration
+	mix   func() []sched.TenantSpec
+	gates gates
+}
+
+// gates are the per-scenario acceptance thresholds; zero disables a gate.
+type gates struct {
+	// minP99Improvement is the minimum fifoP99/wfqP99 ratio for the
+	// realtime class.
+	minP99Improvement float64
+	// maxThroughputDelta bounds |served_wfq - served_fifo| / served_fifo.
+	maxThroughputDelta float64
+	// servedRatio, when non-zero, asserts tenant 0's served count is this
+	// multiple of tenant 1's under WFQ, within servedRatioTol.
+	servedRatio    float64
+	servedRatioTol float64
+}
+
+// bulkTenant is the greedy pipeline: a batch-class tenant whose backlog
+// keeps the device saturated — exactly what FIFO makes everyone wait
+// behind.
+func bulkTenant(backlog int, opCost time.Duration) sched.TenantSpec {
+	return sched.TenantSpec{
+		Name: "bulk", Class: sched.Batch, Weight: 1,
+		OpCost: opCost, Backlog: backlog,
+	}
+}
+
+func scenarios() []scenario {
+	return []scenario{
+		// The headline: one bulk tenant with a 64-deep pipeline of 500µs
+		// ops, eight realtime tenants each firing a sporadic 50µs op every
+		// ~2ms. Under FIFO every realtime op queues behind the whole
+		// pipeline; under WFQ the realtime class's 100x weight lifts it past
+		// the backlog at the next op boundary.
+		{
+			name: "starvation-1bulk-8rt", seed: 7, dur: 5 * time.Second,
+			mix: func() []sched.TenantSpec {
+				ts := []sched.TenantSpec{bulkTenant(64, 500*time.Microsecond)}
+				for i := 0; i < 8; i++ {
+					ts = append(ts, sched.TenantSpec{
+						Name: fmt.Sprintf("rt-%d", i), Class: sched.Realtime, Weight: 1,
+						OpCost: 50 * time.Microsecond, MeanGap: 2 * time.Millisecond,
+					})
+				}
+				return ts
+			},
+			gates: gates{minP99Improvement: 5, maxThroughputDelta: 0.10},
+		},
+		// Same shape at 32 tenants: the improvement must hold when the
+		// latency-sensitive population itself carries real load.
+		{
+			name: "starvation-1bulk-32rt", seed: 11, dur: 5 * time.Second,
+			mix: func() []sched.TenantSpec {
+				ts := []sched.TenantSpec{bulkTenant(64, 500*time.Microsecond)}
+				for i := 0; i < 32; i++ {
+					ts = append(ts, sched.TenantSpec{
+						Name: fmt.Sprintf("rt-%d", i), Class: sched.Realtime, Weight: 1,
+						OpCost: 50 * time.Microsecond, MeanGap: 8 * time.Millisecond,
+					})
+				}
+				return ts
+			},
+			gates: gates{minP99Improvement: 5, maxThroughputDelta: 0.10},
+		},
+		// Weight proportionality inside one class: two saturating batch
+		// tenants at 2:1 session weights must split the device 2:1 under
+		// WFQ (FIFO splits it 1:1 — recorded for contrast).
+		{
+			name: "weighted-share-2to1", seed: 3, dur: 2 * time.Second,
+			mix: func() []sched.TenantSpec {
+				heavy := bulkTenant(16, 200*time.Microsecond)
+				heavy.Name, heavy.Weight = "heavy", 2
+				light := bulkTenant(16, 200*time.Microsecond)
+				light.Name, light.Weight = "light", 1
+				return []sched.TenantSpec{heavy, light}
+			},
+			gates: gates{maxThroughputDelta: 0.10, servedRatio: 2, servedRatioTol: 0.05},
+		},
+	}
+}
+
+// classRow is one class's outcome under one policy.
+type classRow struct {
+	Class     string `json:"class"`
+	Served    uint64 `json:"served"`
+	WaitP50US int64  `json:"wait_p50_us"`
+	WaitP99US int64  `json:"wait_p99_us"`
+	WaitMaxUS int64  `json:"wait_max_us"`
+}
+
+// policyRow is one policy's outcome on a scenario.
+type policyRow struct {
+	TotalServed uint64     `json:"total_served"`
+	BusyFrac    float64    `json:"busy_frac"`
+	Preemptions uint64     `json:"preemptions"`
+	Classes     []classRow `json:"classes"`
+}
+
+// scenarioResult is one scenario's row in the bench file.
+type scenarioResult struct {
+	Name       string    `json:"name"`
+	Seed       int64     `json:"seed"`
+	DurationMS int64     `json:"duration_ms"`
+	Tenants    int       `json:"tenants"`
+	FIFO       policyRow `json:"fifo"`
+	WFQ        policyRow `json:"wfq"`
+	// RTP99ImprovementX is fifo/wfq for the realtime class's p99 queue
+	// wait — the headline number (0 when the mix has no realtime class).
+	RTP99ImprovementX float64 `json:"rt_p99_improvement_x,omitempty"`
+	// ThroughputDeltaFrac is |wfq-fifo|/fifo over total served ops.
+	ThroughputDeltaFrac float64 `json:"throughput_delta_frac"`
+}
+
+type benchFile struct {
+	Harness   string           `json:"harness"`
+	Scenarios []scenarioResult `json:"scenarios"`
+}
+
+func toPolicyRow(r *sched.SimResult) policyRow {
+	row := policyRow{
+		TotalServed: r.TotalServed,
+		BusyFrac:    round4(r.BusyFrac),
+		Preemptions: r.Preemptions,
+	}
+	for _, c := range r.Classes {
+		row.Classes = append(row.Classes, classRow{
+			Class:     c.Class.String(),
+			Served:    c.Served,
+			WaitP50US: c.WaitP50.Microseconds(),
+			WaitP99US: c.WaitP99.Microseconds(),
+			WaitMaxUS: c.WaitMax.Microseconds(),
+		})
+	}
+	return row
+}
+
+// classP99 extracts one class's p99 wait from a run, 0 if absent.
+func classP99(r *sched.SimResult, class sched.Class) time.Duration {
+	for _, c := range r.Classes {
+		if c.Class == class {
+			return c.WaitP99
+		}
+	}
+	return 0
+}
+
+// simulateTwice runs the config twice and insists the runs agree byte for
+// byte — the determinism contract the freshness check depends on.
+func simulateTwice(name string, cfg sched.SimConfig) *sched.SimResult {
+	a := sched.Simulate(cfg)
+	b := sched.Simulate(cfg)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		log.Fatalf("%s: two identically-seeded %s runs diverged:\n%s\n%s", name, cfg.Policy, ja, jb)
+	}
+	return a
+}
+
+func runScenario(sc scenario) scenarioResult {
+	base := sched.SimConfig{Seed: sc.seed, Duration: sc.dur, Tenants: sc.mix()}
+	fifoCfg, wfqCfg := base, base
+	fifoCfg.Policy, wfqCfg.Policy = sched.FIFO, sched.WFQ
+	fifoCfg.Tenants, wfqCfg.Tenants = sc.mix(), sc.mix()
+	fifo := simulateTwice(sc.name, fifoCfg)
+	wfq := simulateTwice(sc.name, wfqCfg)
+
+	sr := scenarioResult{
+		Name:       sc.name,
+		Seed:       sc.seed,
+		DurationMS: sc.dur.Milliseconds(),
+		Tenants:    len(base.Tenants),
+		FIFO:       toPolicyRow(fifo),
+		WFQ:        toPolicyRow(wfq),
+	}
+	if fifo.TotalServed > 0 {
+		delta := float64(int64(wfq.TotalServed) - int64(fifo.TotalServed))
+		if delta < 0 {
+			delta = -delta
+		}
+		sr.ThroughputDeltaFrac = round4(delta / float64(fifo.TotalServed))
+	}
+	fifoP99, wfqP99 := classP99(fifo, sched.Realtime), classP99(wfq, sched.Realtime)
+	if wfqP99 > 0 {
+		sr.RTP99ImprovementX = round2(float64(fifoP99) / float64(wfqP99))
+	}
+
+	// Acceptance gates: the bench refuses to write a result that breaks
+	// the PR's fairness claims, so a regression fails CI loudly rather
+	// than silently rewriting the artifact.
+	g := sc.gates
+	if g.minP99Improvement > 0 && sr.RTP99ImprovementX < g.minP99Improvement {
+		log.Fatalf("%s: realtime p99 improved only %.2fx (fifo %v, wfq %v), want >= %.0fx",
+			sc.name, sr.RTP99ImprovementX, fifoP99, wfqP99, g.minP99Improvement)
+	}
+	if g.maxThroughputDelta > 0 && sr.ThroughputDeltaFrac > g.maxThroughputDelta {
+		log.Fatalf("%s: throughput delta %.4f exceeds %.2f (fifo %d, wfq %d served)",
+			sc.name, sr.ThroughputDeltaFrac, g.maxThroughputDelta, fifo.TotalServed, wfq.TotalServed)
+	}
+	if g.servedRatio > 0 {
+		a, b := wfq.Tenants[0].Served, wfq.Tenants[1].Served
+		ratio := float64(a) / float64(b)
+		if ratio < g.servedRatio*(1-g.servedRatioTol) || ratio > g.servedRatio*(1+g.servedRatioTol) {
+			log.Fatalf("%s: served ratio %.3f (%d:%d) outside %.1f±%.0f%%",
+				sc.name, ratio, a, b, g.servedRatio, g.servedRatioTol*100)
+		}
+	}
+	return sr
+}
+
+func printRow(w *tabwriter.Writer, sr scenarioResult) {
+	rtFIFO, rtWFQ := int64(0), int64(0)
+	for _, c := range sr.FIFO.Classes {
+		if c.Class == "realtime" {
+			rtFIFO = c.WaitP99US
+		}
+	}
+	for _, c := range sr.WFQ.Classes {
+		if c.Class == "realtime" {
+			rtWFQ = c.WaitP99US
+		}
+	}
+	fmt.Fprintf(w, "%s\t%d\t%dµs\t%dµs\t%.1fx\t%.2f%%\t%d\n",
+		sr.Name, sr.Tenants, rtFIFO, rtWFQ, sr.RTP99ImprovementX,
+		sr.ThroughputDeltaFrac*100, sr.WFQ.Preemptions)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sched.json", "bench file to write (or verify with -check); empty disables")
+	check := flag.Bool("check", false, "re-run scenarios and fail if the bench file is stale")
+	flag.Parse()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "scenario\ttenants\trt p99 fifo\trt p99 wfq\timprovement\tthpt delta\tpreemptions")
+
+	var file benchFile
+	file.Harness = "sched-bench-v1"
+	for _, sc := range scenarios() {
+		sr := runScenario(sc)
+		printRow(w, sr)
+		file.Scenarios = append(file.Scenarios, sr)
+	}
+	w.Flush()
+
+	if *out == "" {
+		return
+	}
+	blob, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *check {
+		committed, err := os.ReadFile(*out)
+		if err != nil {
+			log.Fatalf("read %s: %v (run `make bench-sched` to generate it)", *out, err)
+		}
+		if string(committed) != string(blob) {
+			log.Fatalf("%s is stale: run `make bench-sched` and commit the result", *out)
+		}
+		fmt.Printf("%s is fresh\n", *out)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func round2(x float64) float64 { return float64(int(x*100+0.5)) / 100 }
+
+func round4(x float64) float64 { return float64(int(x*10000+0.5)) / 10000 }

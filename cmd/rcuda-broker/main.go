@@ -72,7 +72,7 @@ func main() {
 	servers := flag.String("servers", "", "comma-separated daemon addresses; empty spawns an in-process pool")
 	spawn := flag.Int("spawn", 3, "number of in-process daemons to spawn when -servers is empty")
 	gpus := flag.Int("gpus", 1, "devices per spawned daemon")
-	policyName := flag.String("policy", "least-loaded", "placement policy: least-loaded, round-robin, network-aware")
+	policyName := flag.String("policy", "least-loaded", "placement policy: least-loaded, round-robin, network-aware, class-aware")
 	jobs := flag.Int("jobs", 9, "number of jobs in the batch (alternating MM and FFT)")
 	mm := flag.Int("mm", 64, "MM matrix dimension (multiple of 16)")
 	fftBatch := flag.Int("fft", 8, "FFT batch size")

@@ -25,6 +25,7 @@ import (
 	"rcuda/internal/broker"
 	"rcuda/internal/faults"
 	"rcuda/internal/loadgen"
+	"rcuda/internal/protocol"
 )
 
 // scenario is one named, fully-pinned load-generation run. build returns a
@@ -83,6 +84,27 @@ func scenarios() []scenario {
 				},
 			}
 		}},
+		// Mixed scheduling classes through class-aware placement at 10^5
+		// scale: sporadic realtime inference, the batch bulk, best-effort
+		// scavengers. The probe loop feeds per-class daemon gauges to the
+		// placer, so realtime sessions are steered toward daemons with
+		// realtime headroom — the fleet-level half of the PR 10 scheduler
+		// (the per-device half is BENCH_sched.json).
+		{name: "scale-100k-classes", build: func() loadgen.Config {
+			return loadgen.Config{
+				Seed: 6, Sessions: 100_000, Arrival: loadgen.Poisson, Rate: 40_000,
+				Classes: []loadgen.Class{
+					{Name: "rt", Weight: 1, HoldMean: 5 * time.Millisecond, Durable: true, SchedClass: protocol.SchedClassRealtime},
+					{Name: "batch", Weight: 2, HoldMean: 40 * time.Millisecond, Durable: true, SchedClass: protocol.SchedClassBatch},
+					{Name: "scavenge", Weight: 1, HoldMean: 20 * time.Millisecond, Durable: false, SchedClass: protocol.SchedClassBestEffort},
+				},
+				Policy:         broker.ClassAware,
+				InitialDaemons: 4, DaemonCapacity: 64,
+				Autoscale: &broker.AutoscalerConfig{
+					Min: 4, Max: 64, DaemonCapacity: 64, Cooldown: 250 * time.Millisecond,
+				},
+			}
+		}},
 		{name: "scale-100k", build: func() loadgen.Config {
 			return loadgen.Config{
 				Seed: 3, Sessions: 100_000, Arrival: loadgen.Poisson, Rate: 60_000,
@@ -127,6 +149,34 @@ type scenarioResult struct {
 	// DaemonsOverTime is the autoscaler trajectory, one fleet size per
 	// trajectory sample (1s of virtual time apart).
 	DaemonsOverTime []int `json:"daemons_over_time"`
+	// Classes breaks queue waits down per offered class; present only for
+	// scenarios that declare scheduling classes, so legacy rows are
+	// byte-stable.
+	Classes []classResult `json:"classes,omitempty"`
+}
+
+// classResult is one class's row in a scenario result.
+type classResult struct {
+	Name       string `json:"name"`
+	SchedClass string `json:"sched_class"`
+	Sessions   int    `json:"sessions"`
+	Placements int64  `json:"placements"`
+	WaitP50US  int64  `json:"wait_p50_us"`
+	WaitP99US  int64  `json:"wait_p99_us"`
+}
+
+// schedClassName names a protocol scheduling-class wire code.
+func schedClassName(code uint32) string {
+	switch code {
+	case protocol.SchedClassRealtime:
+		return "realtime"
+	case protocol.SchedClassBatch:
+		return "batch"
+	case protocol.SchedClassBestEffort:
+		return "besteffort"
+	default:
+		return "unspecified"
+	}
 }
 
 type benchFile struct {
@@ -161,6 +211,19 @@ func toResult(name string, r *loadgen.Result) scenarioResult {
 	}
 	for _, s := range r.Trajectory {
 		sr.DaemonsOverTime = append(sr.DaemonsOverTime, s.Daemons)
+	}
+	for _, c := range r.Classes {
+		if c.SchedClass == protocol.SchedClassUnspecified {
+			continue
+		}
+		sr.Classes = append(sr.Classes, classResult{
+			Name:       c.Name,
+			SchedClass: schedClassName(c.SchedClass),
+			Sessions:   c.Sessions,
+			Placements: c.Placements,
+			WaitP50US:  c.WaitP50.Microseconds(),
+			WaitP99US:  c.WaitP99.Microseconds(),
+		})
 	}
 	return sr
 }

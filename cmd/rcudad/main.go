@@ -14,6 +14,13 @@
 // the daemon drains gracefully within -drain-grace and prints a final
 // snapshot.
 //
+// -sched turns on the per-device scheduler: ops dispatch through a
+// weighted fair queue with realtime > batch > besteffort priority classes
+// (clients declare a class in their session hello), yielding the device
+// only at op boundaries so results stay bit-exact; -class-weights tunes the
+// class multipliers. Per-class queue waits and served/preempted counters
+// appear in the SIGUSR1 snapshot and the stats probe's class block.
+//
 // The migration flags make the daemon a live-migration peer: -session-id-base
 // carves out a disjoint durable-id range so restored sessions never collide
 // with locally minted ones, -standby-peer streams periodic checkpoints of
@@ -28,16 +35,20 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"rcuda/internal/gpu"
 	_ "rcuda/internal/kernels" // register the case-study GPU modules
 	"rcuda/internal/rcuda"
+	"rcuda/internal/sched"
 	"rcuda/internal/transport"
 	"rcuda/internal/vclock"
 )
@@ -57,6 +68,28 @@ func logSnapshot(logger *log.Logger, snap rcuda.StatsSnapshot) {
 		logger.Printf("stats: device %d %q: %d bytes in %d allocations, %d sessions, busy %v",
 			i, du.Name, du.BytesInUse, du.Allocations, du.Sessions, du.Busy)
 	}
+	for _, cu := range snap.Classes {
+		logger.Printf("stats: class %s: %d sessions, served=%d preempted=%d wait p50=%v p99=%v",
+			cu.Class, cu.Sessions, cu.Served, cu.Preempted, cu.WaitP50, cu.WaitP99)
+	}
+}
+
+// parseClassWeights decodes "realtime,batch,besteffort" multipliers; a zero
+// entry keeps that class's default.
+func parseClassWeights(s string) ([sched.NumClasses]uint32, error) {
+	var w [sched.NumClasses]uint32
+	parts := strings.Split(s, ",")
+	if len(parts) != sched.NumClasses {
+		return w, fmt.Errorf("-class-weights wants %d comma-separated values, got %q", sched.NumClasses, s)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 32)
+		if err != nil {
+			return w, fmt.Errorf("-class-weights %q: %v", s, err)
+		}
+		w[i] = uint32(v)
+	}
+	return w, nil
 }
 
 func main() {
@@ -76,6 +109,9 @@ func main() {
 	reqDeadline := flag.Duration("req-deadline", 0, "request watchdog: kill connections idle or stalled past this (0 = off)")
 	parkedTTL := flag.Duration("parked-ttl", 0, "destroy parked durable sessions not reattached within this (0 = keep until shutdown)")
 	drainGrace := flag.Duration("drain-grace", rcuda.DefaultCloseGrace, "how long shutdown lets in-flight sessions finish")
+
+	schedPolicy := flag.String("sched", "", "per-device scheduler: \"wfq\" for weighted fair queueing with priority classes, \"fifo\" for explicit arrival order, empty = scheduler off (legacy pass-through)")
+	classWeights := flag.String("class-weights", "", "comma-separated realtime,batch,besteffort class weight multipliers (default 100,10,1); requires -sched")
 
 	sessionIDBase := flag.Uint64("session-id-base", 0, "mint durable session ids above this; daemons that exchange sessions by migration need disjoint ranges")
 	migrateChunk := flag.Uint("migrate-chunk", 0, "chunk size in bytes for outbound migration streams (0 = protocol default)")
@@ -115,6 +151,22 @@ func main() {
 	}
 	if *spread {
 		opts = append(opts, rcuda.WithSessionSpread())
+	}
+	if *schedPolicy != "" {
+		policy, err := sched.ParsePolicy(*schedPolicy)
+		if err != nil {
+			log.Fatalf("rcudad: %v", err)
+		}
+		opts = append(opts, rcuda.WithScheduler(policy))
+		if *classWeights != "" {
+			w, err := parseClassWeights(*classWeights)
+			if err != nil {
+				log.Fatalf("rcudad: %v", err)
+			}
+			opts = append(opts, rcuda.WithClassWeights(w))
+		}
+	} else if *classWeights != "" {
+		log.Fatal("rcudad: -class-weights requires -sched")
 	}
 	if *sessionIDBase > 0 {
 		opts = append(opts, rcuda.WithSessionIDBase(*sessionIDBase))

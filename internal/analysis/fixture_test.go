@@ -119,6 +119,20 @@ func TestLockNetFixture(t *testing.T) {
 	checkFixture(t, a, "locked")
 }
 
+// TestLockNetSchedFixture covers the scheduler-shaped violations: the
+// queue lock serializes a device's dispatch, so sleeps and wire calls
+// under it are flagged while the real grant shape (decide under the lock,
+// close the grant channel outside it) passes clean.
+func TestLockNetSchedFixture(t *testing.T) {
+	a := LockNet(LockNetConfig{
+		Packages:      []string{"fixture/schedq"},
+		ConnPackage:   "fixture/transport",
+		ConnInterface: "Conn",
+		ConnMethods:   []string{"Send", "Recv"},
+	})
+	checkFixture(t, a, "schedq")
+}
+
 func TestErrCodeFixture(t *testing.T) {
 	a := ErrCode(ErrCodeConfig{ProtocolPackage: "fixture/proto", ClientPackage: "fixture/client"})
 	checkFixture(t, a, "proto", "client")

@@ -22,12 +22,14 @@ type LockNetConfig struct {
 	ConnMethods []string
 }
 
-// DefaultLockNetConfig guards the broker and the rcuda client/server: one
-// probe or exchange stalled on the wire must never stall every placement
-// or session behind a mutex.
+// DefaultLockNetConfig guards the broker, the rcuda client/server, and the
+// device scheduler: one probe or exchange stalled on the wire must never
+// stall every placement or session behind a mutex, and the scheduler's
+// queue lock serializes every tenant's dispatch — a sleep or wire call
+// under it would stall the whole device.
 func DefaultLockNetConfig() LockNetConfig {
 	return LockNetConfig{
-		Packages:      []string{"internal/broker", "internal/rcuda"},
+		Packages:      []string{"internal/broker", "internal/rcuda", "internal/sched"},
 		ConnPackage:   "internal/transport",
 		ConnInterface: "Conn",
 		ConnMethods:   []string{"Send", "Recv"},

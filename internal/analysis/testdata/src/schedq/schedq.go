@@ -1,0 +1,75 @@
+// Package schedq is the locknet fixture for the device scheduler's lock
+// discipline: the queue mutex serializes every tenant's dispatch, so a
+// sleep or wire call held under it stalls the whole device. Violations are
+// marked with want comments; the clean shapes mirror internal/sched's real
+// grant path (decide under the lock, notify outside it).
+package schedq
+
+import (
+	"sync"
+	"time"
+
+	"fixture/transport"
+)
+
+// queue is a toy WFQ queue: mu guards the waiter list, grants are
+// delivered by closing a waiter's channel.
+type queue struct {
+	mu      sync.Mutex
+	waiters []chan struct{}
+	stats   transport.Conn
+}
+
+// BadSleepUnderLock backs off inside the critical section — every queued
+// tenant on the device stalls for the whole sleep.
+func (q *queue) BadSleepUnderLock() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	time.Sleep(time.Millisecond) // want locknet "blocking time.Sleep while q.mu is held"
+}
+
+// BadPublishUnderLock pushes per-class stats over the wire while holding
+// the queue lock; a slow stats consumer would freeze scheduling.
+func (q *queue) BadPublishUnderLock(frame []byte) {
+	q.mu.Lock()
+	_ = q.stats.Send(frame) // want locknet "blocking transport.Conn.Send while q.mu is held"
+	q.mu.Unlock()
+}
+
+// drainAck waits for the stats peer's acknowledgement — a blocking helper.
+func (q *queue) drainAck() {
+	_, _ = q.stats.Recv()
+}
+
+// BadTransitiveUnderLock reaches the wire through the helper while the
+// queue lock is held.
+func (q *queue) BadTransitiveUnderLock() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.drainAck() // want locknet "call to fixture/schedq.queue.drainAck blocks on transport.Conn.Recv while q.mu is held"
+}
+
+// GoodGrantOutsideLock is the real grant shape: pick the next waiter under
+// the lock, close its channel after releasing — the waiter may run
+// arbitrary dispatch work without holding up the queue.
+func (q *queue) GoodGrantOutsideLock() {
+	q.mu.Lock()
+	var grant chan struct{}
+	if len(q.waiters) > 0 {
+		grant = q.waiters[0]
+		q.waiters = q.waiters[1:]
+	}
+	q.mu.Unlock()
+	if grant != nil {
+		close(grant)
+	}
+}
+
+// GoodSnapshotThenPublish snapshots counters under the lock and publishes
+// after releasing it.
+func (q *queue) GoodSnapshotThenPublish() {
+	q.mu.Lock()
+	n := len(q.waiters)
+	q.mu.Unlock()
+	_ = q.stats.Send([]byte{byte(n)})
+}

@@ -132,6 +132,13 @@ type JobSpec struct {
 	// of the calibrated case studies; the network-aware policy falls back
 	// to ranking by payload time for this many bytes.
 	TransferBytes int64
+	// Class and Weight are the session's scheduling parameters
+	// (rcuda.SchedRealtime/SchedBatch/SchedBestEffort; zero means
+	// unspecified). The class-aware policy ranks endpoints by headroom in
+	// this class, and the pool declares both in the session's hello so a
+	// scheduler-enabled daemon enforces them.
+	Class  uint32
+	Weight uint32
 }
 
 // Pool is a client-side GPU pool over a set of rcudad endpoints.
@@ -398,7 +405,7 @@ func (p *Pool) open(module []byte, spec JobSpec, exclude map[int]bool) (*Session
 			}
 			return nil, ErrNoServers
 		}
-		sess, err := p.tryOpen(idx, module)
+		sess, err := p.tryOpen(idx, module, spec)
 		if err == nil {
 			return sess, nil
 		}
@@ -418,7 +425,7 @@ func (p *Pool) open(module []byte, spec JobSpec, exclude map[int]bool) (*Session
 // tryOpen dials one endpoint and opens a durable session on it. The
 // session reconnects through a route rather than a fixed dialer, so a
 // later migration can re-point it.
-func (p *Pool) tryOpen(idx int, module []byte) (*Session, error) {
+func (p *Pool) tryOpen(idx int, module []byte, spec JobSpec) (*Session, error) {
 	s := &p.pl.state
 	s.mu.Lock()
 	ep := s.eps[idx].ep
@@ -428,10 +435,14 @@ func (p *Pool) tryOpen(idx int, module []byte) (*Session, error) {
 		return nil, fmt.Errorf("broker: dial %s: %w", ep.Name, err)
 	}
 	rt := &route{p: p, idx: idx}
-	opts := append([]rcuda.ClientOption{
+	opts := []rcuda.ClientOption{
 		rcuda.WithRetry(4, time.Millisecond),
 		rcuda.WithReconnect(rt.dial),
-	}, p.clientOpts...)
+	}
+	if spec.Class != 0 || spec.Weight != 0 {
+		opts = append(opts, rcuda.WithSchedClass(spec.Class, spec.Weight))
+	}
+	opts = append(opts, p.clientOpts...)
 	client, err := rcuda.Open(conn, module, opts...)
 	if err != nil {
 		_ = conn.Close()

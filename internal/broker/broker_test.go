@@ -11,6 +11,7 @@ import (
 	"rcuda/internal/kernels"
 	"rcuda/internal/netsim"
 	"rcuda/internal/rcuda"
+	"rcuda/internal/sched"
 	"rcuda/internal/transport"
 	"rcuda/internal/vclock"
 )
@@ -71,7 +72,7 @@ func (s *simServer) setDead(dead bool) {
 }
 
 func TestParsePolicyRoundTrip(t *testing.T) {
-	for _, p := range []Policy{LeastLoaded, RoundRobin, NetworkAware} {
+	for _, p := range []Policy{LeastLoaded, RoundRobin, NetworkAware, ClassAware} {
 		got, err := ParsePolicy(p.String())
 		if err != nil || got != p {
 			t.Fatalf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
@@ -114,6 +115,57 @@ func TestPoolRoundRobinCycles(t *testing.T) {
 	}
 	if s := p.Stats(); s.Placements != 6 || s.Spills != 0 || s.Failovers != 0 {
 		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestPoolClassAwareFollowsClassBlocks drives the class-aware policy end
+// to end: two scheduler-enabled daemons, one crowded with realtime
+// tenants, and after a probe round a new realtime job lands on the calm
+// one — with its class declared in the hello, so the destination daemon's
+// realtime gauge counts it.
+func TestPoolClassAwareFollowsClassBlocks(t *testing.T) {
+	link := netsim.IB40G()
+	crowded := newSimServer(rcuda.WithScheduler(sched.WFQ))
+	calm := newSimServer(rcuda.WithScheduler(sched.WFQ))
+	p, err := New([]Endpoint{
+		crowded.endpoint("crowded", link),
+		calm.endpoint("calm", link),
+	}, WithPolicy(ClassAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	img := moduleImage(t, calib.MM)
+
+	// Two realtime tenants occupy the first server, dialed directly so the
+	// pool's stampede guard cannot spread them.
+	crowdedEp := crowded.endpoint("crowded", link)
+	for i := 0; i < 2; i++ {
+		conn, err := crowdedEp.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hog, err := rcuda.Open(conn, img, rcuda.WithSchedClass(rcuda.SchedRealtime, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer hog.Close()
+	}
+	if got := crowded.srv.StatsSnapshot().Classes[sched.Realtime].Sessions; got != 2 {
+		t.Fatalf("crowded daemon counts %d realtime sessions, want 2", got)
+	}
+
+	p.Refresh()
+	sess, err := p.Open(img, JobSpec{Class: rcuda.SchedRealtime, Weight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.Endpoint != "calm" {
+		t.Fatalf("realtime job placed on %q, want the calm daemon", sess.Endpoint)
+	}
+	if got := calm.srv.StatsSnapshot().Classes[sched.Realtime].Sessions; got != 1 {
+		t.Fatalf("calm daemon counts %d realtime sessions, want 1", got)
 	}
 }
 

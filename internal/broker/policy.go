@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rcuda/internal/perfmodel"
+	"rcuda/internal/protocol"
 )
 
 // Policy selects how the pool places sessions on endpoints. The names
@@ -29,6 +30,13 @@ const (
 	// payload time for a declared byte volume — breaking ties by load.
 	// Endpoints with no declared link rank last.
 	NetworkAware
+	// ClassAware ranks endpoints by scheduling headroom in the job's
+	// declared class (JobSpec.Class; unspecified reads as batch): lowest
+	// p99 queue wait for the class in the endpoint's last probe first,
+	// then fewest sessions of the class, then overall load. Endpoints
+	// whose daemons do not run the scheduler (no class block in the probe
+	// reply) rank after those that do, by overall load.
+	ClassAware
 )
 
 // String implements fmt.Stringer with the cluster package's names.
@@ -40,6 +48,8 @@ func (p Policy) String() string {
 		return "round-robin"
 	case NetworkAware:
 		return "network-aware"
+	case ClassAware:
+		return "class-aware"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
@@ -54,6 +64,8 @@ func ParsePolicy(s string) (Policy, error) {
 		return RoundRobin, nil
 	case "network-aware":
 		return NetworkAware, nil
+	case "class-aware":
+		return ClassAware, nil
 	default:
 		return 0, fmt.Errorf("broker: unknown policy %q", s)
 	}
@@ -104,6 +116,22 @@ func transferEstimate(st *endpointState, spec JobSpec) (time.Duration, bool) {
 	return 0, false
 }
 
+// classLoadOf extracts the endpoint's probe row for the job's class. ok is
+// false when the endpoint has no probe yet or its daemon answered without
+// the class block (scheduler off or pre-scheduler build).
+func classLoadOf(st *endpointState, class uint32) (protocol.ClassLoad, bool) {
+	if st.load == nil || !st.load.HasClasses {
+		return protocol.ClassLoad{}, false
+	}
+	if class == protocol.SchedClassUnspecified {
+		class = protocol.SchedClassBatch
+	}
+	if class < protocol.SchedClassRealtime || class > protocol.SchedClassBestEffort {
+		return protocol.ClassLoad{}, false
+	}
+	return st.load.Classes[class-1], true
+}
+
 // pickAmong ranks the candidate endpoints under the policy. The caller
 // holds the placer mutex (see placerState.pick for the up/down preference
 // pass that drives the candidate predicate).
@@ -140,6 +168,33 @@ func (s *placerState) pickAmong(spec JobSpec, candidate func(int) bool) (int, bo
 			}
 			if better {
 				best, found, bestEst, bestHas = i, true, est, has
+			}
+		}
+		return best, found
+	case ClassAware:
+		best, found := 0, false
+		var bestCL protocol.ClassLoad
+		var bestHas bool
+		for i, st := range s.eps {
+			if !candidate(i) {
+				continue
+			}
+			cl, has := classLoadOf(st, spec.Class)
+			better := false
+			switch {
+			case !found:
+				better = true
+			case has != bestHas:
+				better = has // a scheduler-reporting endpoint beats a blind one
+			case has && cl.P99WaitNanos != bestCL.P99WaitNanos:
+				better = cl.P99WaitNanos < bestCL.P99WaitNanos
+			case has && cl.Sessions != bestCL.Sessions:
+				better = cl.Sessions < bestCL.Sessions
+			default:
+				better = lighterLoad(st.loadKey(), s.eps[best].loadKey())
+			}
+			if better {
+				best, found, bestCL, bestHas = i, true, cl, has
 			}
 		}
 		return best, found

@@ -168,6 +168,70 @@ func TestNetworkAwareEstimateTieBreaksByLoad(t *testing.T) {
 	}
 }
 
+// classGauges builds a probe reply carrying the per-class block:
+// rows[i] is (sessions, p99 wait nanos) for wire class i+1.
+func classGauges(sessions uint32, rows [3][2]uint64) *protocol.StatsReply {
+	r := &protocol.StatsReply{
+		SessionsLive: sessions,
+		Devices:      []protocol.DeviceStats{{}},
+		HasClasses:   true,
+	}
+	for i, row := range rows {
+		r.Classes[i] = protocol.ClassLoad{Sessions: uint32(row[0]), P99WaitNanos: row[1]}
+	}
+	return r
+}
+
+func TestClassAwareRanking(t *testing.T) {
+	p := newTestPlacer(ClassAware, 3)
+	// Endpoint 0: calm realtime row but crowded batch; endpoint 1 the
+	// reverse; endpoint 2 reports no class block (scheduler off).
+	p.NoteProbe(0, classGauges(4, [3][2]uint64{{1, 100}, {5, 9_000_000}, {0, 0}}), nil)
+	p.NoteProbe(1, classGauges(4, [3][2]uint64{{3, 7_000_000}, {1, 200}, {0, 0}}), nil)
+	p.NoteProbe(2, gauges(0, 0, 0), nil)
+
+	// A realtime job goes where realtime p99 wait is lowest.
+	if idx, _ := p.Pick(JobSpec{Class: protocol.SchedClassRealtime}, nil); idx != 0 {
+		t.Fatalf("realtime pick = %d, want 0", idx)
+	}
+	// A batch job (and the unspecified default) goes the other way.
+	if idx, _ := p.Pick(JobSpec{Class: protocol.SchedClassBatch}, nil); idx != 1 {
+		t.Fatalf("batch pick = %d, want 1", idx)
+	}
+	if idx, _ := p.Pick(JobSpec{}, nil); idx != 1 {
+		t.Fatalf("unspecified pick = %d, want 1 (batch default)", idx)
+	}
+	// A scheduler-reporting endpoint beats a blind one even when the blind
+	// one is idle; the blind one remains a last resort.
+	if idx, _ := p.Pick(JobSpec{Class: protocol.SchedClassRealtime}, map[int]bool{0: true}); idx != 1 {
+		t.Fatalf("realtime spill pick = %d, want 1", idx)
+	}
+	if idx, _ := p.Pick(JobSpec{Class: protocol.SchedClassRealtime}, map[int]bool{0: true, 1: true}); idx != 2 {
+		t.Fatalf("last-resort pick = %d, want 2", idx)
+	}
+}
+
+func TestClassAwareTieBreaks(t *testing.T) {
+	p := newTestPlacer(ClassAware, 2)
+	// Equal p99 wait: fewer sessions of the class wins.
+	p.NoteProbe(0, classGauges(2, [3][2]uint64{{4, 500}, {0, 0}, {0, 0}}), nil)
+	p.NoteProbe(1, classGauges(2, [3][2]uint64{{1, 500}, {0, 0}, {0, 0}}), nil)
+	if idx, _ := p.Pick(JobSpec{Class: protocol.SchedClassRealtime}, nil); idx != 1 {
+		t.Fatalf("session tiebreak pick = %d, want 1", idx)
+	}
+	// Full class tie: overall load decides, including the stampede guard.
+	p.NoteProbe(0, classGauges(1, [3][2]uint64{{1, 500}, {0, 0}, {0, 0}}), nil)
+	p.NoteProbe(1, classGauges(5, [3][2]uint64{{1, 500}, {0, 0}, {0, 0}}), nil)
+	if idx, _ := p.Pick(JobSpec{Class: protocol.SchedClassRealtime}, nil); idx != 0 {
+		t.Fatalf("load tiebreak pick = %d, want 0", idx)
+	}
+	// No probes at all: the policy still places (registration order).
+	blind := newTestPlacer(ClassAware, 2)
+	if idx, ok := blind.Pick(JobSpec{Class: protocol.SchedClassRealtime}, nil); !ok || idx != 0 {
+		t.Fatalf("unprobed pick = %d, %v; want 0, true", idx, ok)
+	}
+}
+
 func TestPickPrefersUpFallsBackToDown(t *testing.T) {
 	p := newTestPlacer(LeastLoaded, 2)
 	p.NoteProbe(0, gauges(0, 0, 0), nil)

@@ -97,6 +97,11 @@ type Class struct {
 	// Durable sessions survive daemon kills by failing over (replayed on
 	// another daemon); non-durable sessions die with their daemon.
 	Durable bool
+	// SchedClass is the scheduling class the class's sessions declare in
+	// their hello, as a protocol.SchedClass* wire code. It rides in the
+	// JobSpec at placement so the ClassAware policy can rank daemons by
+	// per-class headroom. Zero is unspecified: daemons fold it into batch.
+	SchedClass uint32
 }
 
 // Config parameterizes one load-generation run. Every random draw in the
@@ -186,6 +191,8 @@ type ClassResult struct {
 	Name     string
 	Durable  bool
 	Sessions int
+	// SchedClass echoes the class's declared scheduling class wire code.
+	SchedClass uint32
 	// Placements counts placements recorded for the class — arrivals plus
 	// failover re-placements.
 	Placements int64
@@ -277,6 +284,10 @@ type daemon struct {
 	retired  bool
 	live     int
 	sessions map[int]struct{}
+	// classLive counts resident sessions per scheduling class (wire code
+	// minus one, unspecified folded into batch) — the gauges a
+	// scheduler-enabled daemon reports in its stats probe's class block.
+	classLive [protocol.SchedClassBestEffort]int
 }
 
 type sim struct {
@@ -309,6 +320,11 @@ type sim struct {
 	arrRNG, classRNG, holdRNG, phaseRNG *rand.Rand
 	burstOn                             bool
 	totalWeight                         float64
+	// classed turns on the probe replies' per-class block, mirroring a
+	// fleet of scheduler-enabled daemons. It is set when the mix declares
+	// scheduling classes or the policy is class-aware, so legacy scenarios
+	// keep byte-identical probe replies (and byte-identical results).
+	classed bool
 
 	trajectory []Sample
 	stopped    bool
@@ -324,6 +340,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if cl.HoldMean <= 0 {
 			return nil, fmt.Errorf("loadgen: class %d (%q) has non-positive hold mean", i, cl.Name)
+		}
+		if cl.SchedClass > protocol.SchedClassBestEffort {
+			return nil, fmt.Errorf("loadgen: class %d (%q) has unknown scheduling class %d", i, cl.Name, cl.SchedClass)
 		}
 	}
 
@@ -342,6 +361,12 @@ func Run(cfg Config) (*Result, error) {
 		s.totalWeight += cl.Weight
 		s.classWait = append(s.classWait, stats.NewDurationHistogram())
 		s.classN = append(s.classN, 0)
+		if cl.SchedClass != protocol.SchedClassUnspecified {
+			s.classed = true
+		}
+	}
+	if cfg.Policy == broker.ClassAware {
+		s.classed = true
 	}
 	for i := 0; i < cfg.InitialDaemons; i++ {
 		s.spawnDaemon()
@@ -503,11 +528,21 @@ func (s *sim) drain() {
 // place attempts one placement through the Placer, mirroring Pool.open:
 // full daemons spill to the next-best, dead daemons are marked down and
 // skipped. It reports whether the session landed.
+// classIndex maps a wire scheduling-class code to its gauge row, folding
+// unspecified into batch the way a scheduler-enabled daemon does.
+func classIndex(class uint32) int {
+	if class == protocol.SchedClassUnspecified {
+		class = protocol.SchedClassBatch
+	}
+	return int(class - 1)
+}
+
 func (s *sim) place(id int) bool {
 	sess := s.sessions[id]
+	spec := broker.JobSpec{Class: s.cfg.Classes[sess.class].SchedClass}
 	var exclude map[int]bool
 	for {
-		idx, ok := s.pl.Pick(broker.JobSpec{}, exclude)
+		idx, ok := s.pl.Pick(spec, exclude)
 		if !ok {
 			return false
 		}
@@ -519,6 +554,7 @@ func (s *sim) place(id int) bool {
 			s.pl.NoteSpill()
 		default:
 			d.live++
+			d.classLive[classIndex(spec.Class)]++
 			d.sessions[id] = struct{}{}
 			sess.daemon = idx
 			sess.epoch++
@@ -551,6 +587,7 @@ func (s *sim) complete(id, epoch int) {
 	}
 	d := s.daemons[sess.daemon]
 	d.live--
+	d.classLive[classIndex(s.cfg.Classes[sess.class].SchedClass)]--
 	delete(d.sessions, id)
 	sess.daemon = -1
 	sess.epoch++
@@ -588,6 +625,7 @@ func (s *sim) kill(d *daemon) {
 		}
 	}
 	d.live = 0
+	d.classLive = [protocol.SchedClassBestEffort]int{}
 	d.sessions = make(map[int]struct{})
 }
 
@@ -632,7 +670,17 @@ func (s *sim) probeTick() {
 			s.pl.NoteProbe(d.idx, nil, errDaemonDown)
 			continue
 		}
-		s.pl.NoteProbe(d.idx, &protocol.StatsReply{SessionsLive: uint32(d.live)}, nil)
+		reply := &protocol.StatsReply{SessionsLive: uint32(d.live)}
+		if s.classed {
+			// A scheduler-enabled daemon answers with the per-class block;
+			// the sim daemon reports its class gauges the same way so the
+			// class-aware policy has real headroom signals to rank.
+			reply.HasClasses = true
+			for ci, n := range d.classLive {
+				reply.Classes[ci] = protocol.ClassLoad{Sessions: uint32(n)}
+			}
+		}
+		s.pl.NoteProbe(d.idx, reply, nil)
 	}
 	if s.scaler != nil {
 		demand := s.live + s.queued()
@@ -751,10 +799,13 @@ func (s *sim) drainByMigration(src *daemon) bool {
 		if dest == nil {
 			return false // capacity shifted mid-drain; the caller vetoes
 		}
+		ci := classIndex(s.cfg.Classes[s.sessions[id].class].SchedClass)
 		delete(src.sessions, id)
 		src.live--
+		src.classLive[ci]--
 		dest.sessions[id] = struct{}{}
 		dest.live++
+		dest.classLive[ci]++
 		s.sessions[id].daemon = dest.idx
 		s.pl.NoteMigration(dest.idx, 0)
 	}
@@ -795,6 +846,7 @@ func (s *sim) result(elapsed time.Duration) *Result {
 			Name:       cl.Name,
 			Durable:    cl.Durable,
 			Sessions:   int(s.classN[i]),
+			SchedClass: cl.SchedClass,
 			Placements: int64(h.N()),
 			WaitP50:    h.Percentile(50),
 			WaitP99:    h.Percentile(99),

@@ -8,6 +8,7 @@ import (
 
 	"rcuda/internal/broker"
 	"rcuda/internal/faults"
+	"rcuda/internal/protocol"
 )
 
 func TestRunRejectsBadClasses(t *testing.T) {
@@ -16,6 +17,107 @@ func TestRunRejectsBadClasses(t *testing.T) {
 	}
 	if _, err := Run(Config{Classes: []Class{{Name: "x", Weight: 1}}}); err == nil {
 		t.Fatal("accepted a zero-hold class")
+	}
+	if _, err := Run(Config{Classes: []Class{{Name: "x", Weight: 1, HoldMean: time.Millisecond, SchedClass: 9}}}); err == nil {
+		t.Fatal("accepted an out-of-range scheduling class")
+	}
+}
+
+// schedMix is a three-way scheduling-class mix: sporadic realtime
+// inference, the batch bulk of the load, and best-effort scavengers.
+func schedMix() []Class {
+	return []Class{
+		{Name: "rt", Weight: 1, HoldMean: 5 * time.Millisecond, Durable: true, SchedClass: protocol.SchedClassRealtime},
+		{Name: "batch", Weight: 2, HoldMean: 40 * time.Millisecond, Durable: true, SchedClass: protocol.SchedClassBatch},
+		{Name: "scavenge", Weight: 1, HoldMean: 20 * time.Millisecond, Durable: false, SchedClass: protocol.SchedClassBestEffort},
+	}
+}
+
+// TestMixedClassPopulation drives a scheduling-class mix through the
+// class-aware policy: the probe loop must feed per-class gauges to the
+// placer, every class must see placements, and the run must be
+// deterministic down to its JSON encoding.
+func TestMixedClassPopulation(t *testing.T) {
+	cfg := Config{
+		Seed:           13,
+		Sessions:       20_000,
+		Arrival:        BurstyOnOff,
+		Rate:           10_000,
+		Classes:        schedMix(),
+		Policy:         broker.ClassAware,
+		InitialDaemons: 4,
+		DaemonCapacity: 64,
+		Autoscale:      &broker.AutoscalerConfig{Min: 4, Max: 32, DaemonCapacity: 64, Cooldown: 200 * time.Millisecond},
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Policy != broker.ClassAware.String() {
+		t.Fatalf("result policy %q", a.Policy)
+	}
+	if a.Completed != int64(a.Sessions) || a.LostDurable != 0 {
+		t.Fatalf("completed %d of %d, lost durable %d", a.Completed, a.Sessions, a.LostDurable)
+	}
+	if a.Pool.Probes == 0 {
+		t.Fatal("no probes — class gauges never reached the placer")
+	}
+	for i, cr := range a.Classes {
+		if cr.SchedClass != cfg.Classes[i].SchedClass {
+			t.Fatalf("class %q echoes sched class %d, want %d", cr.Name, cr.SchedClass, cfg.Classes[i].SchedClass)
+		}
+		if cr.Placements == 0 {
+			t.Fatalf("class %q saw no placements: %+v", cr.Name, a.Classes)
+		}
+		if cr.WaitP99 < cr.WaitP50 {
+			t.Fatalf("class %q wait percentiles out of order: %+v", cr.Name, cr)
+		}
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatal("two identically-seeded class-aware runs diverged")
+	}
+}
+
+// TestMixedClassHundredThousand is the 1e5-scale fairness scenario from
+// the issue: a mixed-class population through class-aware placement on an
+// elastic fleet, with per-class waits surfaced in the result.
+func TestMixedClassHundredThousand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1e5-session run skipped in -short mode")
+	}
+	r, err := Run(Config{
+		Seed:           21,
+		Sessions:       100_000,
+		Rate:           40_000,
+		Classes:        schedMix(),
+		Policy:         broker.ClassAware,
+		InitialDaemons: 4,
+		DaemonCapacity: 64,
+		Autoscale:      &broker.AutoscalerConfig{Min: 4, Max: 64, DaemonCapacity: 64, Cooldown: 250 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed+r.LostNonDurable != 100_000 || r.LostDurable != 0 || r.Unplaced != 0 {
+		t.Fatalf("accounting: completed %d lost %d unplaced %d", r.Completed, r.LostNonDurable, r.Unplaced)
+	}
+	if len(r.Classes) != 3 {
+		t.Fatalf("want 3 class rows, got %+v", r.Classes)
+	}
+	for _, cr := range r.Classes {
+		if cr.Placements == 0 {
+			t.Fatalf("class %q saw no placements: %+v", cr.Name, r.Classes)
+		}
+		t.Logf("class %q: %d placements, p50 %v p99 %v", cr.Name, cr.Placements, cr.WaitP50, cr.WaitP99)
+	}
+	if r.PeakDaemons <= 4 {
+		t.Fatalf("fleet never grew under 40k/s: peak %d", r.PeakDaemons)
 	}
 }
 

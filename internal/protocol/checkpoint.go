@@ -16,7 +16,11 @@ import "fmt"
 // so the format can evolve without ambiguity.
 
 // CheckpointVersion is the serialization version this package writes.
-const CheckpointVersion = 1
+// Version 2 added the scheduling class/weight pair after CurDevice. The
+// decoder accepts exactly this version: migration streams run between
+// daemons of one build, and a mixed-version pair must fail the transfer
+// loudly (the source keeps the session) rather than guess at fields.
+const CheckpointVersion = 2
 
 // checkpointMaxList bounds every list count in the decoder before any
 // allocation is sized from it. Each list entry occupies at least 4 wire
@@ -33,6 +37,11 @@ type Checkpoint struct {
 	Module string
 	// CurDevice is the session's current cudaSetDevice selection.
 	CurDevice uint32
+	// SchedClass and SchedWeight are the session's scheduling parameters
+	// (SchedClass codes; see sched.go), preserved across the move so a
+	// migrated realtime session stays realtime on the destination.
+	SchedClass  uint32
+	SchedWeight uint32
 	// LastBatchSeq and LastBatchCodes are the batch dedup window: the last
 	// executed batch sequence and its per-sub-op result codes. A nil
 	// LastBatchCodes means no batch has executed yet.
@@ -88,6 +97,8 @@ func (c *Checkpoint) Encode(dst []byte) []byte {
 	dst = putU32(dst, uint32(len(c.Module)))
 	dst = append(dst, c.Module...)
 	dst = putU32(dst, c.CurDevice)
+	dst = putU32(dst, c.SchedClass)
+	dst = putU32(dst, c.SchedWeight)
 	dst = putU64(dst, c.LastBatchSeq)
 	if c.LastBatchCodes == nil {
 		dst = putU32(dst, 0)
@@ -107,7 +118,7 @@ func (c *Checkpoint) Encode(dst []byte) []byte {
 
 // WireSize implements Message.
 func (c *Checkpoint) WireSize() int {
-	n := 4 + 8 + 4 + len(c.Module) + 4 + 8 + 4
+	n := 4 + 8 + 4 + len(c.Module) + 4 + 4 + 4 + 8 + 4
 	if c.LastBatchCodes != nil {
 		n += 4 + 4*len(c.LastBatchCodes)
 	}
@@ -223,6 +234,14 @@ func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 	c := &Checkpoint{Session: r.u64()}
 	c.Module = string(r.bytes(r.count("module name")))
 	c.CurDevice = r.u32()
+	c.SchedClass = r.u32()
+	c.SchedWeight = r.u32()
+	if r.err == nil && c.SchedClass > maxSchedClass {
+		return nil, fmt.Errorf("%w: checkpoint class %d", ErrBadSchedClass, c.SchedClass)
+	}
+	if r.err == nil && c.SchedWeight > MaxSchedWeight {
+		return nil, fmt.Errorf("%w: checkpoint weight %d", ErrBadSchedWeight, c.SchedWeight)
+	}
 	c.LastBatchSeq = r.u64()
 	switch flag := r.u32(); {
 	case r.err != nil:

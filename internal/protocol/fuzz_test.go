@@ -34,6 +34,8 @@ func FuzzDecodeRequest(f *testing.F) {
 		&MemcpyStreamChunk{Seq: 2, Data: []byte{1, 2, 3}},
 		&MemcpyStreamEndRequest{Chunks: 4},
 		&SessionHelloRequest{},
+		&SessionHelloRequest{Class: SchedClassRealtime, Weight: 8},
+		&SessionHelloRequest{Class: SchedClassBestEffort},
 		&ReattachRequest{Session: 7},
 		&StatsQueryRequest{},
 		&BatchRequest{Seq: 1, Subs: [][]byte{
@@ -316,10 +318,13 @@ func FuzzDecodeMigrateChunk(f *testing.F) {
 func FuzzDecodeCheckpoint(f *testing.F) {
 	seeds := []*Checkpoint{
 		{Session: 1, Module: "matmul"},
+		{Session: 3, Module: "stencil", SchedClass: SchedClassRealtime, SchedWeight: 4},
 		{
 			Session:        7,
 			Module:         "fft",
 			CurDevice:      1,
+			SchedClass:     SchedClassBatch,
+			SchedWeight:    1,
 			LastBatchSeq:   42,
 			LastBatchCodes: []uint32{0, 0, 2},
 			Devices: []DeviceCheckpoint{

@@ -94,6 +94,9 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		c    *Checkpoint
 	}{
 		{"empty session", &Checkpoint{Session: 1, Module: "matmul"}},
+		{"scheduling class", &Checkpoint{
+			Session: 9, Module: "dnn", SchedClass: SchedClassRealtime, SchedWeight: 16,
+		}},
 		{"multi-device allocations", &Checkpoint{
 			Session:   2,
 			Module:    "fft",
@@ -165,6 +168,9 @@ func TestCheckpointRoundTrip(t *testing.T) {
 			if got.Session != tc.c.Session || got.Module != tc.c.Module || got.CurDevice != tc.c.CurDevice {
 				t.Fatalf("identity fields drifted: %+v", got)
 			}
+			if got.SchedClass != tc.c.SchedClass || got.SchedWeight != tc.c.SchedWeight {
+				t.Fatalf("scheduling fields drifted: %+v", got)
+			}
 		})
 	}
 }
@@ -188,6 +194,27 @@ func TestCheckpointDecodeRejects(t *testing.T) {
 	putU32(huge[len(huge)-4:len(huge)-4], 0xffffffff) // device count
 	if _, err := DecodeCheckpoint(huge); err == nil {
 		t.Fatal("absurd device count accepted")
+	}
+}
+
+// TestCheckpointRejectsBadSchedFields pins the typed errors for
+// out-of-range scheduling parameters: a forged checkpoint cannot smuggle a
+// hostile class or weight past the decoder.
+func TestCheckpointRejectsBadSchedFields(t *testing.T) {
+	base := &Checkpoint{Session: 1, Module: "m", SchedClass: SchedClassBatch, SchedWeight: 2}
+	raw := base.Encode(nil)
+	// SchedClass sits right after CurDevice: version(4)+session(8)+
+	// module len(4)+module(1)+curdev(4) = offset 21.
+	off := 4 + 8 + 4 + len(base.Module) + 4
+	badClass := append([]byte(nil), raw...)
+	putU32(badClass[off:off], maxSchedClass+1)
+	if _, err := DecodeCheckpoint(badClass); !errors.Is(err, ErrBadSchedClass) {
+		t.Fatalf("bad class: %v, want ErrBadSchedClass", err)
+	}
+	badWeight := append([]byte(nil), raw...)
+	putU32(badWeight[off+4:off+4], MaxSchedWeight+1)
+	if _, err := DecodeCheckpoint(badWeight); !errors.Is(err, ErrBadSchedWeight) {
+		t.Fatalf("bad weight: %v, want ErrBadSchedWeight", err)
 	}
 }
 

@@ -1,6 +1,9 @@
 package protocol
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // This file defines the durable-session extension behind the client's
 // retry/reconnect policy. The base protocol ties a session's lifetime to
@@ -44,17 +47,38 @@ func getU64(src []byte, off int) uint64 {
 
 // --- Hello -------------------------------------------------------------------
 
-// SessionHelloRequest asks the server to make the current session durable:
-// op (4) = 4 bytes. Sent at most once, right after initialization.
-type SessionHelloRequest struct{}
+// SessionHelloRequest asks the server to make the current session durable
+// and, optionally, declares its scheduling class. Two encodings share the
+// op: the legacy bare form, op (4) = 4 bytes, and the extended form,
+// op (4) + class (4) + weight (4) = 12 bytes. A request whose Class and
+// Weight are both zero encodes as the bare form, so old servers keep
+// accepting default-class clients. Sent at most once, right after
+// initialization (or after a reattach, to re-declare the class).
+type SessionHelloRequest struct {
+	// Class is a SchedClass code; SchedClassUnspecified (0) leaves the
+	// server's default in place.
+	Class uint32
+	// Weight is the session's intra-class WFQ weight, 0 reading as 1;
+	// bounded by MaxSchedWeight.
+	Weight uint32
+}
 
 // Encode implements Message.
 func (m *SessionHelloRequest) Encode(dst []byte) []byte {
-	return putU32(dst, uint32(OpSessionHello))
+	dst = putU32(dst, uint32(OpSessionHello))
+	if m.Class == SchedClassUnspecified && m.Weight == 0 {
+		return dst
+	}
+	return putU32(putU32(dst, m.Class), m.Weight)
 }
 
 // WireSize implements Message.
-func (m *SessionHelloRequest) WireSize() int { return 4 }
+func (m *SessionHelloRequest) WireSize() int {
+	if m.Class == SchedClassUnspecified && m.Weight == 0 {
+		return 4
+	}
+	return 12
+}
 
 // Op implements Request.
 func (m *SessionHelloRequest) Op() Op { return OpSessionHello }
@@ -149,10 +173,26 @@ func DecodeReattachResponse(b []byte) (*ReattachResponse, error) {
 func decodeSessionRequest(op Op, b []byte) (Request, error) {
 	switch op {
 	case OpSessionHello:
-		if len(b) != 4 {
+		switch len(b) {
+		case 4:
+			return &SessionHelloRequest{}, nil
+		case 12:
+			m := &SessionHelloRequest{Class: getU32(b, 4), Weight: getU32(b, 8)}
+			if m.Class > maxSchedClass {
+				return nil, fmt.Errorf("%w: class %d", ErrBadSchedClass, m.Class)
+			}
+			if m.Weight > MaxSchedWeight {
+				return nil, fmt.Errorf("%w: weight %d", ErrBadSchedWeight, m.Weight)
+			}
+			if m.Class == SchedClassUnspecified && m.Weight == 0 {
+				// The all-defaults pair has exactly one canonical spelling:
+				// the bare form.
+				return nil, fmt.Errorf("protocol: non-canonical extended hello")
+			}
+			return m, nil
+		default:
 			return nil, ErrShortMessage
 		}
-		return &SessionHelloRequest{}, nil
 	case OpSessionReattach:
 		if len(b) != 12 {
 			return nil, ErrShortMessage

@@ -42,6 +42,48 @@ func TestSessionHelloRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSessionHelloClassForms covers the dual encoding: the bare 4-byte
+// hello and the extended 12-byte class/weight form, plus the typed
+// rejections for out-of-range fields.
+func TestSessionHelloClassForms(t *testing.T) {
+	bare := &SessionHelloRequest{}
+	if got := bare.Encode(nil); len(got) != 4 || bare.WireSize() != 4 {
+		t.Fatalf("bare hello encoded %d bytes (WireSize %d), want 4", len(got), bare.WireSize())
+	}
+	ext := &SessionHelloRequest{Class: SchedClassRealtime, Weight: 8}
+	raw := ext.Encode(nil)
+	if len(raw) != 12 || ext.WireSize() != 12 {
+		t.Fatalf("extended hello encoded %d bytes (WireSize %d), want 12", len(raw), ext.WireSize())
+	}
+	decoded, err := DecodeRequest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := decoded.(*SessionHelloRequest)
+	if !ok || got.Class != SchedClassRealtime || got.Weight != 8 {
+		t.Fatalf("extended hello decoded as %#v", decoded)
+	}
+
+	badClass := (&SessionHelloRequest{Class: maxSchedClass + 1, Weight: 1}).Encode(nil)
+	if _, err := DecodeRequest(badClass); !errors.Is(err, ErrBadSchedClass) {
+		t.Fatalf("class out of range: %v, want ErrBadSchedClass", err)
+	}
+	badWeight := (&SessionHelloRequest{Class: SchedClassBatch, Weight: MaxSchedWeight + 1}).Encode(nil)
+	if _, err := DecodeRequest(badWeight); !errors.Is(err, ErrBadSchedWeight) {
+		t.Fatalf("weight out of range: %v, want ErrBadSchedWeight", err)
+	}
+	// The all-defaults extended spelling is non-canonical; only the bare
+	// form encodes it.
+	zeroExt := append(bare.Encode(nil), 0, 0, 0, 0, 0, 0, 0, 0)
+	if _, err := DecodeRequest(zeroExt); err == nil {
+		t.Fatal("non-canonical zero extended hello accepted")
+	}
+	// A truncated extended form is neither valid spelling.
+	if _, err := DecodeRequest(raw[:8]); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("truncated hello: %v, want ErrShortMessage", err)
+	}
+}
+
 func TestReattachRoundTrip(t *testing.T) {
 	req := &ReattachRequest{Session: 42}
 	raw := req.Encode(nil)

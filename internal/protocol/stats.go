@@ -83,7 +83,11 @@ const statsDeviceWire = 24
 // StatsReply is the server's load snapshot: CUDA error (4) + live
 // sessions (4) + parked sessions (4) + device count (4) + per device
 // {bytes in use (8) + allocations (4) + sessions (4) + busy nanos (8)} =
-// 16 + 24·n bytes.
+// 16 + 24·n bytes, optionally followed by a per-scheduling-class block of
+// NumSchedClasses × {sessions (4) + p99 wait nanos (8)} = 36 bytes. The
+// class block's presence is length-determined, so a pre-scheduler reply
+// still decodes (HasClasses false) and a pre-scheduler decoder rejects the
+// longer frame rather than misreading it.
 type StatsReply struct {
 	Err uint32
 	// SessionsLive counts GPU sessions currently attached to a connection;
@@ -93,6 +97,10 @@ type StatsReply struct {
 	SessionsParked uint32
 	// Devices holds one entry per device the daemon serves.
 	Devices []DeviceStats
+	// HasClasses reports whether the per-class block was present; Classes
+	// is indexed by SchedClass code minus one (realtime, batch, besteffort).
+	HasClasses bool
+	Classes    [NumSchedClasses]ClassLoad
 }
 
 // Encode implements Message.
@@ -101,14 +109,26 @@ func (m *StatsReply) Encode(dst []byte) []byte {
 	for _, d := range m.Devices {
 		dst = putU64(putU32(putU32(putU64(dst, d.BytesInUse), d.Allocations), d.Sessions), d.BusyNanos)
 	}
+	if m.HasClasses {
+		for _, c := range m.Classes {
+			dst = putU64(putU32(dst, c.Sessions), c.P99WaitNanos)
+		}
+	}
 	return dst
 }
 
 // WireSize implements Message.
-func (m *StatsReply) WireSize() int { return 16 + statsDeviceWire*len(m.Devices) }
+func (m *StatsReply) WireSize() int {
+	n := 16 + statsDeviceWire*len(m.Devices)
+	if m.HasClasses {
+		n += statsClassWire * NumSchedClasses
+	}
+	return n
+}
 
-// DecodeStatsReply parses a load snapshot. The declared device count must
-// match the payload length exactly and stay within MaxStatsDevices.
+// DecodeStatsReply parses a load snapshot. The declared device count plus
+// an optional class block must match the payload length exactly, and the
+// device count must stay within MaxStatsDevices.
 func DecodeStatsReply(b []byte) (*StatsReply, error) {
 	if len(b) < 16 {
 		return nil, ErrShortMessage
@@ -117,13 +137,20 @@ func DecodeStatsReply(b []byte) (*StatsReply, error) {
 	if n > MaxStatsDevices {
 		return nil, fmt.Errorf("protocol: stats reply declares %d devices (max %d)", n, MaxStatsDevices)
 	}
-	if len(b) != 16+statsDeviceWire*int(n) {
+	devEnd := 16 + statsDeviceWire*int(n)
+	hasClasses := false
+	switch len(b) {
+	case devEnd:
+	case devEnd + statsClassWire*NumSchedClasses:
+		hasClasses = true
+	default:
 		return nil, ErrShortMessage
 	}
 	m := &StatsReply{
 		Err:            getU32(b, 0),
 		SessionsLive:   getU32(b, 4),
 		SessionsParked: getU32(b, 8),
+		HasClasses:     hasClasses,
 	}
 	if n > 0 {
 		m.Devices = make([]DeviceStats, n)
@@ -134,6 +161,15 @@ func DecodeStatsReply(b []byte) (*StatsReply, error) {
 				Allocations: getU32(b, off+8),
 				Sessions:    getU32(b, off+12),
 				BusyNanos:   getU64(b, off+16),
+			}
+		}
+	}
+	if hasClasses {
+		for i := range m.Classes {
+			off := devEnd + statsClassWire*i
+			m.Classes[i] = ClassLoad{
+				Sessions:     getU32(b, off),
+				P99WaitNanos: getU64(b, off+4),
 			}
 		}
 	}

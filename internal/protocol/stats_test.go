@@ -84,6 +84,51 @@ func TestStatsReplyRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStatsReplyClassBlock covers the optional per-class trailer: a reply
+// carrying it round-trips, a reply without it reads HasClasses false, and
+// a partial trailer is rejected.
+func TestStatsReplyClassBlock(t *testing.T) {
+	resp := &StatsReply{
+		SessionsLive: 5,
+		Devices:      []DeviceStats{{BytesInUse: 1 << 20, Sessions: 5, BusyNanos: 42}},
+		HasClasses:   true,
+		Classes: [NumSchedClasses]ClassLoad{
+			{Sessions: 2, P99WaitNanos: 1_500_000},
+			{Sessions: 3, P99WaitNanos: 40_000_000},
+			{Sessions: 0, P99WaitNanos: 0},
+		},
+	}
+	raw := resp.Encode(nil)
+	if len(raw) != resp.WireSize() {
+		t.Fatalf("encoded %d bytes, WireSize says %d", len(raw), resp.WireSize())
+	}
+	back, err := DecodeStatsReply(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.HasClasses || back.Classes != resp.Classes {
+		t.Fatalf("class block round trip: %+v", back)
+	}
+	if !bytes.Equal(back.Encode(nil), raw) {
+		t.Fatal("re-encode mismatch")
+	}
+	// Without the trailer the same reply decodes as a legacy snapshot.
+	legacy := raw[:len(raw)-statsClassWire*NumSchedClasses]
+	lback, err := DecodeStatsReply(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lback.HasClasses {
+		t.Fatal("legacy-length reply claims a class block")
+	}
+	// A torn trailer (any partial class block) must be rejected.
+	for cut := 1; cut < statsClassWire*NumSchedClasses; cut++ {
+		if _, err := DecodeStatsReply(raw[:len(raw)-cut]); err == nil {
+			t.Fatalf("reply with %d-byte torn class block accepted", statsClassWire*NumSchedClasses-cut)
+		}
+	}
+}
+
 // TestDecodeStatsReplyTruncation walks every prefix of every seed through
 // the reply decoder: errors only, no panics, no partial decodes.
 func TestDecodeStatsReplyTruncation(t *testing.T) {
@@ -157,6 +202,14 @@ func FuzzDecodeStatsReply(f *testing.F) {
 			f.Add(full[:17])          // cut inside the first device record
 		}
 	}
+	withClasses := (&StatsReply{
+		SessionsLive: 2,
+		Devices:      []DeviceStats{{Sessions: 2, BusyNanos: 7}},
+		HasClasses:   true,
+		Classes:      [NumSchedClasses]ClassLoad{{Sessions: 1, P99WaitNanos: 9}, {Sessions: 1}, {}},
+	}).Encode(nil)
+	f.Add(withClasses)
+	f.Add(withClasses[:len(withClasses)-1]) // torn class block
 	huge := (&StatsReply{}).Encode(nil)
 	huge[12], huge[13] = 0xff, 0xff // declares 65535 devices with no payload
 	f.Add(huge)

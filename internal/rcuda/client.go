@@ -65,6 +65,10 @@ type Client struct {
 	devCountOK bool
 	props      map[int]gpu.Properties
 	curDev     int
+	// Scheduling parameters declared in the session hello (WithSchedClass);
+	// both zero means a bare hello.
+	schedClass  uint32
+	schedWeight uint32
 }
 
 var _ cudart.Runtime = (*Client)(nil)
@@ -83,6 +87,19 @@ type ClientOption func(*Client)
 // WithObserver attaches a call observer.
 func WithObserver(o Observer) ClientOption {
 	return func(c *Client) { c.observer = o }
+}
+
+// WithSchedClass declares the session's scheduling class and weight
+// (SchedRealtime, SchedBatch, SchedBestEffort; weight 0 reads as 1) to a
+// daemon running the multi-tenant scheduler. The declaration rides the
+// session hello, so Open sends one even without WithReconnect — which
+// also makes the session durable, a strict upgrade. Servers without the
+// scheduler accept and ignore the extended hello.
+func WithSchedClass(class, weight uint32) ClientOption {
+	return func(c *Client) {
+		c.schedClass = class
+		c.schedWeight = weight
+	}
 }
 
 // DefaultChunkThreshold is the transfer size at which WithChunkedTransfers
@@ -141,7 +158,7 @@ func Open(conn transport.Conn, module []byte, opts ...ClientOption) (*Client, er
 		return nil, fmt.Errorf("rcuda: server rejected initialization: %w", err)
 	}
 	c.capMajor, c.capMinor = resp.CapabilityMajor, resp.CapabilityMinor
-	if c.dial != nil {
+	if c.dial != nil || c.schedClass != 0 || c.schedWeight != 0 {
 		if err := c.helloDurable(); err != nil {
 			return nil, err
 		}
@@ -153,7 +170,7 @@ func Open(conn transport.Conn, module []byte, opts ...ClientOption) (*Client, er
 // so a later reconnect can reattach to it. It runs on the still-healthy
 // initial connection and is not itself retried.
 func (c *Client) helloDurable() error {
-	hello := &protocol.SessionHelloRequest{}
+	hello := &protocol.SessionHelloRequest{Class: c.schedClass, Weight: c.schedWeight}
 	if err := c.conn.Send(hello); err != nil {
 		return fmt.Errorf("rcuda: session hello send: %w", err)
 	}

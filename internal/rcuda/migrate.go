@@ -9,6 +9,7 @@ import (
 	"rcuda/internal/cudart"
 	"rcuda/internal/gpu"
 	"rcuda/internal/protocol"
+	"rcuda/internal/sched"
 	"rcuda/internal/transport"
 )
 
@@ -235,6 +236,8 @@ func (s *Server) buildCheckpoint(sess *session) (*protocol.Checkpoint, error) {
 		Session:      sess.id,
 		Module:       sess.module.Name,
 		CurDevice:    uint32(sess.cur),
+		SchedClass:   classToWire(sess.schedClass),
+		SchedWeight:  sess.schedWeight,
 		LastBatchSeq: sess.lastBatchSeq,
 	}
 	if sess.lastBatchCodes != nil {
@@ -382,14 +385,15 @@ func (s *Server) serveRestoreConn(conn transport.Conn, rr *protocol.SessionResto
 		return s.refuseRestore(conn, rr.Session, err)
 	}
 	sess := &session{
-		srv:      s,
-		ctxs:     map[int]*gpu.Context{},
-		slotHeld: s.guard.slots != nil,
-		id:       rr.Session,
-		durable:  true,
-		attached: true,
-		standby:  true,
-		parkCh:   make(chan struct{}),
+		srv:        s,
+		ctxs:       map[int]*gpu.Context{},
+		slotHeld:   s.guard.slots != nil,
+		id:         rr.Session,
+		durable:    true,
+		attached:   true,
+		standby:    true,
+		parkCh:     make(chan struct{}),
+		schedClass: sched.Batch,
 	}
 	var replaced *session
 	s.mu.Lock()
@@ -547,6 +551,10 @@ func (s *Server) materializeCheckpoint(sess *session, c *protocol.Checkpoint) er
 		return fmt.Errorf("rcuda: checkpoint selects device %d of %d", c.CurDevice, len(s.devs))
 	}
 	sess.cur = int(c.CurDevice)
+	// The scheduling identity travels with the session: the restored
+	// session is not attached yet, so no gauge moves — serveSession's
+	// attach accounting picks the class up at reattach time.
+	s.applySchedParams(sess, c.SchedClass, c.SchedWeight, false)
 	newCtx := func(d int) (*gpu.Context, error) {
 		if d >= len(s.devs) {
 			return nil, fmt.Errorf("rcuda: checkpoint uses device %d of %d", d, len(s.devs))

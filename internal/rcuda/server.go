@@ -34,6 +34,7 @@ import (
 	"rcuda/internal/cudart"
 	"rcuda/internal/gpu"
 	"rcuda/internal/protocol"
+	"rcuda/internal/sched"
 	"rcuda/internal/transport"
 )
 
@@ -107,6 +108,17 @@ type Server struct {
 	standbyEvery  time.Duration
 	standbyDone   chan struct{}
 	standbyCopied map[uint64]time.Time
+
+	// Multi-tenant device scheduler (see sched.go in this package and
+	// internal/sched). With schedOn, every device-touching request passes
+	// through queues[dev] for one op; costs[dev] supplies the estimate.
+	// classAttached counts attached sessions per declared class, feeding
+	// the per-class stats rows. Sized in NewServer, after options.
+	schedOn       bool
+	schedCfg      sched.Config
+	queues        []*sched.Queue
+	costs         []*sched.CostModel
+	classAttached [sched.NumClasses]atomic.Int64
 }
 
 // ServerOption configures a Server.
@@ -157,6 +169,17 @@ func NewServer(dev *gpu.Device, opts ...ServerOption) *Server {
 	s.guard = newGuard(s.maxSessions, s.maxConns, s.admitQueueDepth, s.admitQueueWait)
 	s.devSessions = make([]atomic.Int64, len(s.devs))
 	s.devBusy = make([]atomic.Int64, len(s.devs))
+	if s.schedOn {
+		s.queues = make([]*sched.Queue, len(s.devs))
+		s.costs = make([]*sched.CostModel, len(s.devs))
+		for i, d := range s.devs {
+			dev := d
+			s.queues[i] = sched.NewQueue(s.schedCfg, dev.Clock())
+			s.costs[i] = sched.NewCostModel(func(bytes int) time.Duration {
+				return dev.PCIeTime(int64(bytes))
+			})
+		}
+	}
 	if s.standbyDial != nil {
 		s.standbyDone = make(chan struct{})
 		go s.standbyLoop(s.standbyEvery, s.standbyDone)
@@ -368,6 +391,16 @@ type session struct {
 	// replayed across a reconnect is still deduplicated.
 	lastBatchSeq   uint64
 	lastBatchCodes []uint32
+	// Scheduling identity (see sched.go): class and weight from the
+	// session's extended hello (or restored checkpoint), and the session's
+	// flow handle per device queue. schedClass must be set explicitly at
+	// every creation site — the zero Class is Realtime, the default is
+	// Batch. flows is touched only by the session's handler goroutine; the
+	// class/weight pair survives park/reattach with the struct and
+	// migration via the checkpoint.
+	schedClass  sched.Class
+	schedWeight uint32
+	flows       map[int]*sched.Session
 }
 
 // context returns the context of the currently selected device.
@@ -484,8 +517,12 @@ func (s *Server) serveSession(conn transport.Conn, withinConnCap bool) error {
 	sess.conn = conn
 	s.mu.Unlock()
 	s.attached.Add(1)
+	s.classAttached[sess.schedClass%sched.NumClasses].Add(1)
 	finalized := false
 	defer func() {
+		// sess.schedClass is handler-goroutine-owned and this defer runs on
+		// that goroutine, so it sees any mid-life hello re-class.
+		s.classAttached[sess.schedClass%sched.NumClasses].Add(-1)
 		s.attached.Add(-1)
 		s.releaseSession(sess, finalized)
 	}()
@@ -509,9 +546,28 @@ func (s *Server) serveSession(conn transport.Conn, withinConnCap bool) error {
 		// model's per-GPU completion times accumulate.
 		dev := sess.cur
 		clk := s.devs[dev].Clock()
+		// With the scheduler on, a device-touching op waits for its grant
+		// before dispatch and yields at the op boundary after — the
+		// scheduler's only preemption point (see sched.go).
+		var fl *sched.Session
+		var kind sched.OpKind
+		if s.schedOn {
+			if k, bytes, gated := classifySchedOp(req); gated {
+				kind = k
+				fl = sess.flowOn(dev)
+				if aerr := s.queues[dev].Acquire(fl, s.costs[dev].Estimate(k, bytes), s.doneCh); aerr != nil {
+					return aerr
+				}
+			}
+		}
 		t0 := clk.Now()
 		done, err := s.dispatch(conn, sess, req)
-		if busy := clk.Now() - t0; busy > 0 {
+		busy := clk.Now() - t0
+		if fl != nil {
+			s.queues[dev].Release(fl, busy)
+			s.costs[dev].Observe(kind, busy)
+		}
+		if busy > 0 {
 			s.devBusy[dev].Add(int64(busy))
 		}
 		if err != nil {
@@ -687,11 +743,12 @@ func (s *Server) admitSession(conn transport.Conn, initReq *protocol.InitRequest
 			}
 			s.devSessions[initial].Add(1)
 			return &session{
-				srv:      s,
-				module:   mod,
-				ctxs:     map[int]*gpu.Context{initial: ctx},
-				cur:      initial,
-				slotHeld: s.guard.slots != nil,
+				srv:        s,
+				module:     mod,
+				ctxs:       map[int]*gpu.Context{initial: ctx},
+				cur:        initial,
+				slotHeld:   s.guard.slots != nil,
+				schedClass: sched.Batch,
 			}, nil
 		}
 	}
@@ -828,6 +885,7 @@ func (s *Server) dispatch(conn transport.Conn, sess *session, req protocol.Reque
 	case *protocol.FinalizeRequest:
 		return true, nil
 	case *protocol.SessionHelloRequest:
+		s.applySchedParams(sess, r.Class, r.Weight, true)
 		return false, conn.Send(&protocol.SessionHelloResponse{Session: s.makeDurable(sess)})
 	case *protocol.StatsQueryRequest:
 		s.counters.statsQueries.Add(1)

@@ -154,6 +154,9 @@ type StatsSnapshot struct {
 	SessionsParkedNow int
 	// Devices reports each device's allocator occupancy.
 	Devices []DeviceUsage
+	// Classes reports per-scheduling-class queue accounting, merged across
+	// the daemon's devices. Nil when the scheduler is off (see sched.go).
+	Classes []ClassUsage
 }
 
 // StatsSnapshot captures the daemon's current operational state.
@@ -172,6 +175,7 @@ func (s *Server) StatsSnapshot() StatsSnapshot {
 			Busy:        time.Duration(clampGauge(s.devBusy[i].Load())),
 		})
 	}
+	snap.Classes = s.classUsage()
 	return snap
 }
 
@@ -214,6 +218,17 @@ func (s *Server) statsReply() *protocol.StatsReply {
 			Sessions:    uint32(clampGauge(s.devSessions[i].Load())),
 			BusyNanos:   uint64(clampGauge(s.devBusy[i].Load())),
 		})
+	}
+	if usage := s.classUsage(); usage != nil {
+		// The wire's class rows are indexed by wire code - 1: realtime,
+		// batch, besteffort.
+		r.HasClasses = true
+		for _, cu := range usage {
+			r.Classes[classToWire(cu.Class)-1] = protocol.ClassLoad{
+				Sessions:     uint32(clampGauge(int64(cu.Sessions))),
+				P99WaitNanos: uint64(cu.WaitP99),
+			}
+		}
 	}
 	return r
 }

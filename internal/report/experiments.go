@@ -17,6 +17,7 @@ import (
 	"rcuda/internal/perfmodel"
 	"rcuda/internal/protocol"
 	"rcuda/internal/rcuda"
+	"rcuda/internal/sched"
 	"rcuda/internal/transport"
 	"rcuda/internal/vclock"
 	"rcuda/internal/workload"
@@ -277,7 +278,77 @@ func (c Config) expExtensions(sb *strings.Builder) error {
 `, scale.Sessions, scale.PlacedPerSec, float64(scale.QueueWaitP99.Microseconds())/1000,
 		minDaemons(scale), scale.PeakDaemons, scale.Pool.Retirements,
 		scale.Faults, scale.Pool.Failovers, scale.LostNonDurable)
+
+	// Per-device WFQ scheduler: the starvation scenario re-run live (the
+	// same mix BENCH_sched.json commits), so the document can only print
+	// numbers the run just verified.
+	fifoRes, wfqRes := starvationRuns()
+	fifoP99 := classWaitP99(fifoRes, sched.Realtime)
+	wfqP99 := classWaitP99(wfqRes, sched.Realtime)
+	if wfqP99 <= 0 || fifoP99 < 5*wfqP99 {
+		return fmt.Errorf("report: starvation scenario improvement collapsed (fifo %v, wfq %v)", fifoP99, wfqP99)
+	}
+	fmt.Fprintf(sb, `- **Per-device WFQ scheduler with priority classes (internal/sched,
+  `+"`make bench-sched`"+`)**: the daemon's per-device dispatch runs through a
+  virtual-time weighted-fair-queueing queue with realtime > batch >
+  besteffort classes, preempting only at op boundaries so bit-exactness
+  is untouched. In the starvation scenario — one batch tenant keeping a
+  64-deep async pipeline on the device while 8 realtime tenants fire
+  sporadic small launches — FIFO makes every realtime op queue behind
+  the whole pipeline (p99 wait %.1f ms); WFQ's class weights lift the
+  realtime class past the backlog at the next boundary (p99 %.2f ms), a
+  %.0fx improvement at %.2f%% aggregate-throughput difference (%d vs %d
+  ops served). Per-class queue waits surface in StatsSnapshot and the
+  stats probe's class block, which the broker's class-aware policy ranks
+  for placement; deterministic from its seed (BENCH_sched.json).
+
+`, float64(fifoP99.Microseconds())/1000, float64(wfqP99.Microseconds())/1000,
+		float64(fifoP99)/float64(wfqP99),
+		throughputDeltaPct(fifoRes, wfqRes), fifoRes.TotalServed, wfqRes.TotalServed)
 	return nil
+}
+
+// starvationRuns executes the headline scheduler scenario under both
+// policies: one saturating batch pipeline vs eight sporadic realtime
+// tenants on one device.
+func starvationRuns() (fifo, wfq *sched.SimResult) {
+	mix := func() []sched.TenantSpec {
+		ts := []sched.TenantSpec{{
+			Name: "bulk", Class: sched.Batch, Weight: 1,
+			OpCost: 500 * time.Microsecond, Backlog: 64,
+		}}
+		for i := 0; i < 8; i++ {
+			ts = append(ts, sched.TenantSpec{
+				Name: fmt.Sprintf("rt-%d", i), Class: sched.Realtime, Weight: 1,
+				OpCost: 50 * time.Microsecond, MeanGap: 2 * time.Millisecond,
+			})
+		}
+		return ts
+	}
+	base := sched.SimConfig{Seed: 7, Duration: 5 * time.Second}
+	fifoCfg, wfqCfg := base, base
+	fifoCfg.Policy, fifoCfg.Tenants = sched.FIFO, mix()
+	wfqCfg.Policy, wfqCfg.Tenants = sched.WFQ, mix()
+	return sched.Simulate(fifoCfg), sched.Simulate(wfqCfg)
+}
+
+// classWaitP99 extracts one class's p99 queue wait from a sim run.
+func classWaitP99(r *sched.SimResult, class sched.Class) time.Duration {
+	for _, c := range r.Classes {
+		if c.Class == class {
+			return c.WaitP99
+		}
+	}
+	return 0
+}
+
+// throughputDeltaPct is |wfq-fifo|/fifo over total served ops, percent.
+func throughputDeltaPct(fifo, wfq *sched.SimResult) float64 {
+	d := float64(int64(wfq.TotalServed) - int64(fifo.TotalServed))
+	if d < 0 {
+		d = -d
+	}
+	return 100 * d / float64(fifo.TotalServed)
 }
 
 // minDaemons is the smallest fleet size the trajectory visited.

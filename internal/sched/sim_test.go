@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+// starvationConfig is the benchmark scenario at test scale: one greedy
+// bulk tenant with a deep pipeline against latency-sensitive realtime
+// tenants issuing sporadic small ops.
+func starvationConfig(policy Policy) SimConfig {
+	cfg := SimConfig{
+		Seed:     11,
+		Policy:   policy,
+		Duration: 2 * time.Second,
+		Tenants: []TenantSpec{
+			{Name: "bulk", Class: Batch, OpCost: 2 * time.Millisecond, Backlog: 32},
+		},
+	}
+	for i := 0; i < 4; i++ {
+		cfg.Tenants = append(cfg.Tenants, TenantSpec{
+			Name:    "rt",
+			Class:   Realtime,
+			OpCost:  200 * time.Microsecond,
+			MeanGap: 25 * time.Millisecond,
+		})
+	}
+	return cfg
+}
+
+// TestStarvationScenarioSmoke: WFQ must cut the realtime class's p99 queue
+// wait by a large factor at near-identical aggregate throughput — the
+// BENCH_sched.json acceptance property at reduced scale.
+func TestStarvationScenarioSmoke(t *testing.T) {
+	fifo := Simulate(starvationConfig(FIFO))
+	wfq := Simulate(starvationConfig(WFQ))
+
+	p99 := func(r *SimResult, c Class) time.Duration {
+		for _, cr := range r.Classes {
+			if cr.Class == c {
+				return cr.WaitP99
+			}
+		}
+		t.Fatalf("%v has no class %v row", r.Policy, c)
+		return 0
+	}
+	fp, wp := p99(fifo, Realtime), p99(wfq, Realtime)
+	if wp <= 0 || fp <= 0 {
+		t.Fatalf("degenerate p99s: fifo=%v wfq=%v", fp, wp)
+	}
+	if ratio := float64(fp) / float64(wp); ratio < 5 {
+		t.Fatalf("WFQ p99 improvement %.1fx, want >= 5x (fifo=%v wfq=%v)", ratio, fp, wp)
+	}
+	// Equal aggregate throughput: the device is saturated by the bulk
+	// tenant either way.
+	tf, tw := float64(fifo.TotalServed), float64(wfq.TotalServed)
+	if diff := (tw - tf) / tf; diff < -0.10 || diff > 0.10 {
+		t.Fatalf("throughput moved %.1f%%: fifo=%d wfq=%d", diff*100, fifo.TotalServed, wfq.TotalServed)
+	}
+	if wfq.Preemptions == 0 {
+		t.Fatal("WFQ starvation run recorded no preemptions")
+	}
+}
+
+// TestSimulateDeterministic: byte-identical results across repeated runs
+// of the same seed, and different seeds actually differ.
+func TestSimulateDeterministic(t *testing.T) {
+	a := Simulate(starvationConfig(WFQ))
+	b := Simulate(starvationConfig(WFQ))
+	if a.TotalServed != b.TotalServed || a.Preemptions != b.Preemptions || a.BusyFrac != b.BusyFrac {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.Tenants {
+		if a.Tenants[i] != b.Tenants[i] {
+			t.Fatalf("tenant %d diverged: %+v vs %+v", i, a.Tenants[i], b.Tenants[i])
+		}
+	}
+	cfg := starvationConfig(WFQ)
+	cfg.Seed++
+	c := Simulate(cfg)
+	same := c.TotalServed == a.TotalServed
+	for i := range c.Tenants {
+		if c.Tenants[i] != a.Tenants[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical trajectories")
+	}
+}
+
+// TestSimulateEmpty: degenerate configs return an empty result, not a hang.
+func TestSimulateEmpty(t *testing.T) {
+	if r := Simulate(SimConfig{}); r.TotalServed != 0 || len(r.Tenants) != 0 {
+		t.Fatalf("empty config produced %+v", r)
+	}
+}

@@ -117,6 +117,22 @@ func WithReconnect(dial func() (transport.Conn, error)) ClientOption {
 	return mw.WithReconnect(dial)
 }
 
+// WithSchedClass declares the session's scheduling class and weight in
+// the hello, for daemons running the multi-tenant scheduler (rcudad
+// -sched). Daemons without the scheduler accept and ignore it. Weight 0
+// keeps the server's default; class SchedBatch is what an undeclared
+// session gets.
+func WithSchedClass(class, weight uint32) ClientOption {
+	return mw.WithSchedClass(class, weight)
+}
+
+// Scheduling classes for WithSchedClass, in descending priority.
+const (
+	SchedRealtime   = mw.SchedRealtime
+	SchedBatch      = mw.SchedBatch
+	SchedBestEffort = mw.SchedBestEffort
+)
+
 // Track wraps a runtime (local or remote) with CUDA's sticky-error
 // protocol.
 func Track(rt Runtime) *TrackedRuntime { return cudart.Track(rt) }
